@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or in-text case
+studies) via :mod:`repro.experiments.figures`, times the run with
+pytest-benchmark (a single round — these are experiment harnesses, not
+micro-benchmarks), and prints the same rows/series the paper plots so the
+output can be compared against the figures by eye.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of experiment output even under pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

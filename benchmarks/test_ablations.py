@@ -1,0 +1,173 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the impact of individual design
+decisions in this implementation:
+
+* the Algorithm-1 single-item safeguard vs. plain density greedy;
+* the knapsack solver used inside Optimum (exact DP vs. FPTAS vs. greedy);
+* the discretization granularity used for the CDC normal error models;
+* the claim-decomposed EV computation vs. brute-force enumeration.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.claims.functions import LinearClaim
+from repro.core.expected_variance import (
+    DecomposedEVCalculator,
+    expected_variance_exact,
+    linear_expected_variance,
+)
+from repro.core.knapsack import solve_knapsack_dp, solve_knapsack_fptas, solve_knapsack_greedy
+from repro.core.modular import OptimumModularMinVar
+from repro.datasets.cdc import load_cdc_firearms
+from repro.datasets.synthetic import generate_urx
+from repro.experiments.reporting import format_rows
+from repro.experiments.workloads import fairness_window_comparison_workload, uniqueness_workload
+
+
+@pytest.mark.benchmark(group="ablation-knapsack")
+def test_ablation_knapsack_solvers(benchmark, report):
+    """Exact DP vs FPTAS vs greedy on the Adoptions fairness weights."""
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0, 2500, size=60)
+    costs = rng.uniform(1, 100, size=60)
+    budget = float(costs.sum() * 0.2)
+
+    def run_all():
+        return {
+            "dp": solve_knapsack_dp(values, costs, budget).total_value,
+            "fptas": solve_knapsack_fptas(values, costs, budget, epsilon=0.1).total_value,
+            "greedy": solve_knapsack_greedy(values, costs, budget).total_value,
+        }
+
+    results = run_once(benchmark, run_all)
+    report(
+        format_rows(
+            [{"solver": name, "value": value} for name, value in results.items()],
+            title="Ablation: knapsack solver quality (higher is better)",
+        )
+    )
+    assert results["fptas"] >= 0.9 * results["dp"] - 1e-9
+    assert results["greedy"] >= 0.5 * results["dp"] - 1e-9
+
+
+@pytest.mark.benchmark(group="ablation-safeguard")
+def test_ablation_single_item_safeguard(benchmark, report):
+    """The Algorithm-1 safeguard protects greedy from pathological densities."""
+    values = np.array([0.1] + [10.0] * 3)
+    costs = np.array([0.0001] + [2.0] * 3)
+
+    def run_both():
+        with_safeguard = solve_knapsack_greedy(values, costs, 2.0).total_value
+        # Without the safeguard the density order would stop after the tiny item.
+        by_density = sorted(range(4), key=lambda i: -(values[i] / costs[i]))
+        spent, total = 0.0, 0.0
+        for i in by_density:
+            if spent + costs[i] <= 2.0:
+                spent += costs[i]
+                total += values[i]
+        return {"with_safeguard": with_safeguard, "without_safeguard": total}
+
+    results = run_once(benchmark, run_both)
+    report(
+        format_rows(
+            [{"variant": k, "value": v} for k, v in results.items()],
+            title="Ablation: Algorithm-1 single-item safeguard",
+        )
+    )
+    assert results["with_safeguard"] >= results["without_safeguard"]
+
+
+@pytest.mark.benchmark(group="ablation-discretization")
+def test_ablation_discretization_granularity(benchmark, report):
+    """How many support points the CDC normals need before EV stabilizes."""
+    database = load_cdc_firearms()
+
+    def run_granularities():
+        rows = []
+        for points in (2, 4, 6, 10):
+            workload = uniqueness_workload(
+                database, window_width=2, gamma=None or float(np.median(
+                    [database.current_values[s:s+2].sum() for s in range(1, 16, 2)]
+                )),
+                discretize_points=points,
+            )
+            calculator = DecomposedEVCalculator(workload.database, workload.query_function)
+            rows.append({"points": points, "initial_ev": calculator.expected_variance([])})
+        return rows
+
+    rows = run_once(benchmark, run_granularities)
+    report(
+        format_rows(rows, title="Ablation: discretization granularity vs initial EV (CDC-firearms)")
+    )
+    # The EV estimate should move less between 6 and 10 points than between 2 and 6.
+    by_points = {row["points"]: row["initial_ev"] for row in rows}
+    assert abs(by_points[10] - by_points[6]) <= abs(by_points[6] - by_points[2]) + 1e-6
+
+
+@pytest.mark.benchmark(group="ablation-decomposition")
+def test_ablation_decomposed_vs_exact_ev(benchmark, report):
+    """The Theorem 3.8 decomposition agrees with brute force and is far cheaper."""
+    import time
+
+    database = generate_urx(n=12, seed=7)
+    workload = uniqueness_workload(database, window_width=4, gamma=150.0)
+    measure = workload.query_function
+    db = workload.database
+
+    def run_comparison():
+        calculator = DecomposedEVCalculator(db, measure)
+        start = time.perf_counter()
+        decomposed = calculator.expected_variance([0, 5])
+        decomposed_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        exact = expected_variance_exact(db, measure, [0, 5])
+        exact_seconds = time.perf_counter() - start
+        return {
+            "decomposed": decomposed,
+            "exact": exact,
+            "decomposed_seconds": decomposed_seconds,
+            "exact_seconds": exact_seconds,
+        }
+
+    results = run_once(benchmark, run_comparison)
+    report(
+        format_rows(
+            [results],
+            title="Ablation: decomposed (Thm 3.8) vs brute-force EV on a 12-value URx instance",
+        )
+    )
+    assert results["decomposed"] == pytest.approx(results["exact"], abs=1e-9)
+
+
+@pytest.mark.benchmark(group="ablation-optimum-method")
+def test_ablation_optimum_methods_on_adoptions(benchmark, report):
+    """Optimum's knapsack backend barely matters for solution quality on Figure 1."""
+    from repro.datasets.adoptions import load_adoptions
+
+    database = load_adoptions()
+    workload = fairness_window_comparison_workload(database, width=4, later_window_start=4)
+    bias = workload.query_function
+    weights = bias.weights(len(database))
+    budget = database.total_cost * 0.2
+
+    def run_methods():
+        rows = []
+        for method in ("dp", "fptas", "greedy"):
+            plan = OptimumModularMinVar(bias, method=method).select(database, budget)
+            rows.append(
+                {
+                    "method": method,
+                    "remaining_variance": linear_expected_variance(
+                        database, weights, plan.selected
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run_methods)
+    report(format_rows(rows, title="Ablation: Optimum knapsack backend (Adoptions, 20% budget)"))
+    by_method = {row["method"]: row["remaining_variance"] for row in rows}
+    assert by_method["dp"] <= by_method["greedy"] + 1e-9

@@ -1,0 +1,84 @@
+"""Figure 1: variance in claim fairness after cleaning vs. budget.
+
+Paper setup: the Giuliani adoption claim over Adoptions (18 perturbations,
+sensibility decay 1.5), a back-to-back four-year comparison over
+CDC-firearms (10 perturbations), and the cross-cause share claim over
+CDC-causes (16 perturbations).  Algorithms: Random, GreedyNaiveCostBlind,
+GreedyNaive, GreedyMinVar and the exact knapsack Optimum.
+
+Expected shape: Random ≫ GreedyNaiveCostBlind ≥ GreedyNaive ≫ GreedyMinVar ≈
+Optimum, with the gap largest at small budgets.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure1_fairness
+from repro.experiments.reporting import format_series_table
+
+BUDGETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.8)
+
+
+@pytest.mark.benchmark(group="figure-01")
+def test_fig1_adoptions(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure1_fairness,
+        "adoptions",
+        budget_fractions=BUDGETS,
+        include_random=True,
+        random_repeats=25,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 1a/1b (Adoptions): variance in fairness after cleaning",
+        )
+    )
+    for minvar, optimum in zip(result.series["GreedyMinVar"], result.series["Optimum"]):
+        assert minvar <= optimum * 1.2 + 1e-9
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9
+
+
+@pytest.mark.benchmark(group="figure-01")
+def test_fig1_cdc_firearms(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure1_fairness,
+        "cdc_firearms",
+        budget_fractions=BUDGETS,
+        include_random=False,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 1c (CDC-firearms): variance in fairness after cleaning",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9
+
+
+@pytest.mark.benchmark(group="figure-01")
+def test_fig1_cdc_causes(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure1_fairness,
+        "cdc_causes",
+        budget_fractions=BUDGETS,
+        include_random=False,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 1d (CDC-causes): variance in fairness after cleaning",
+        )
+    )
+    for minvar, cost_blind in zip(
+        result.series["GreedyMinVar"], result.series["GreedyNaiveCostBlind"]
+    ):
+        assert minvar <= cost_blind + 1e-9

@@ -1,0 +1,49 @@
+"""Figure 2: expected variance of claim uniqueness vs. budget (CDC datasets).
+
+Paper setup: "in the last two years, the number of injuries by firearms
+(resp. across four categories) is as low as Gamma"; 8 non-overlapping
+perturbation windows; CDC-firearms discretized to 6 support points,
+CDC-causes to 4.  Algorithms: GreedyNaive, GreedyMinVar, Best.
+
+Expected shape: GreedyMinVar ≈ Best ≤ GreedyNaive at every budget.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure2_uniqueness_cdc
+from repro.experiments.reporting import format_series_table
+
+BUDGETS = (0.1, 0.2, 0.4, 0.6, 0.8)
+
+
+@pytest.mark.benchmark(group="figure-02")
+def test_fig2a_cdc_firearms(benchmark, report):
+    result = run_once(
+        benchmark, figure2_uniqueness_cdc, "firearms", budget_fractions=BUDGETS
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 2a (CDC-firearms): expected variance of uniqueness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9
+
+
+@pytest.mark.benchmark(group="figure-02")
+def test_fig2b_cdc_causes(benchmark, report):
+    result = run_once(
+        benchmark, figure2_uniqueness_cdc, "causes", budget_fractions=BUDGETS
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 2b (CDC-causes): expected variance of uniqueness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9

@@ -1,0 +1,43 @@
+"""Figure 3: expected variance of claim uniqueness on URx, sweeping Gamma.
+
+Paper setup: 40 uncertain URx values, claim sums a 4-value window and asserts
+it is "as low as Gamma" for Gamma in {50, 100, 150, 200, 250, 300}; 10
+non-overlapping perturbation windows.  Algorithms: GreedyNaive, GreedyMinVar,
+Best.
+
+Expected shape: GreedyMinVar ≈ Best ≤ GreedyNaive; the initial (budget-0)
+uncertainty peaks for mid-range Gamma (~200 for values drawn from [1, 100]).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure3to5_uniqueness_synthetic
+from repro.experiments.reporting import format_series_table
+
+BUDGETS = (0.0, 0.1, 0.2, 0.4, 0.6, 0.8)
+GAMMAS = (50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+
+
+@pytest.mark.benchmark(group="figure-03")
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_fig3_urx(benchmark, report, gamma):
+    result = run_once(
+        benchmark,
+        figure3to5_uniqueness_synthetic,
+        "URx",
+        gamma=gamma,
+        n=40,
+        budget_fractions=BUDGETS,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title=f"Figure 3 (URx, Gamma={gamma:g}): expected variance of uniqueness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9
+    # With the full budget the remaining uncertainty is essentially gone.
+    assert result.series["GreedyMinVar"][-1] <= result.series["GreedyMinVar"][0] + 1e-9

@@ -1,0 +1,39 @@
+"""Figure 4: expected variance of claim uniqueness on LNx, sweeping Gamma.
+
+Same workload as Figure 3, but value distributions come from the skewed
+unimodal LNx generator, so the interesting Gamma range is much smaller
+({3.0, 3.5, 4.0, 4.5, 5.0, 5.5}); the uncertainty peak sits around Gamma ≈ 4
+and decays more slowly to the right of the peak because of the log-normal
+skew.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure3to5_uniqueness_synthetic
+from repro.experiments.reporting import format_series_table
+
+BUDGETS = (0.0, 0.1, 0.2, 0.4, 0.6, 0.8)
+GAMMAS = (3.0, 3.5, 4.0, 4.5, 5.0, 5.5)
+
+
+@pytest.mark.benchmark(group="figure-04")
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_fig4_lnx(benchmark, report, gamma):
+    result = run_once(
+        benchmark,
+        figure3to5_uniqueness_synthetic,
+        "LNx",
+        gamma=gamma,
+        n=40,
+        budget_fractions=BUDGETS,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title=f"Figure 4 (LNx, Gamma={gamma:g}): expected variance of uniqueness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9

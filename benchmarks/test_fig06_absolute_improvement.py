@@ -1,0 +1,63 @@
+"""Figure 6: absolute improvement of GreedyMinVar over GreedyNaive.
+
+Same scenarios as Figures 3 (URx) and 4 (LNx); the y-axis is the amount of
+expected variance GreedyMinVar removes beyond GreedyNaive, per budget and per
+Gamma.  The paper's observation: the ordering of the curves follows the
+initial (budget-0) uncertainty — higher initial uncertainty means larger
+absolute improvement — and the improvement shrinks at both very tight and
+very generous budgets.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure6_absolute_improvement
+from repro.experiments.reporting import format_rows
+
+BUDGETS = (0.1, 0.2, 0.4, 0.6, 0.8)
+
+
+@pytest.mark.benchmark(group="figure-06")
+def test_fig6a_urx(benchmark, report):
+    rows = run_once(
+        benchmark,
+        figure6_absolute_improvement,
+        generator="URx",
+        gammas=(50.0, 150.0, 200.0, 300.0),
+        budget_fractions=BUDGETS,
+    )
+    report(
+        format_rows(
+            rows,
+            columns=["gamma", "budget_fraction", "initial_variance", "absolute_improvement"],
+            title="Figure 6a (URx): absolute improvement of GreedyMinVar over GreedyNaive",
+        )
+    )
+    assert all(row["absolute_improvement"] >= -1e-9 for row in rows)
+    # Higher initial uncertainty tends to give a bigger peak improvement.
+    by_gamma = {}
+    for row in rows:
+        entry = by_gamma.setdefault(row["gamma"], {"initial": row["initial_variance"], "best": 0.0})
+        entry["best"] = max(entry["best"], row["absolute_improvement"])
+    most_uncertain = max(by_gamma.values(), key=lambda e: e["initial"])
+    least_uncertain = min(by_gamma.values(), key=lambda e: e["initial"])
+    assert most_uncertain["best"] >= least_uncertain["best"] - 1e-9
+
+
+@pytest.mark.benchmark(group="figure-06")
+def test_fig6b_lnx(benchmark, report):
+    rows = run_once(
+        benchmark,
+        figure6_absolute_improvement,
+        generator="LNx",
+        gammas=(3.0, 4.0, 5.0),
+        budget_fractions=BUDGETS,
+    )
+    report(
+        format_rows(
+            rows,
+            columns=["gamma", "budget_fraction", "initial_variance", "absolute_improvement"],
+            title="Figure 6b (LNx): absolute improvement of GreedyMinVar over GreedyNaive",
+        )
+    )
+    assert all(row["absolute_improvement"] >= -1e-9 for row in rows)

@@ -1,0 +1,56 @@
+"""Figure 7: expected variance of claim robustness (fragility) vs. budget.
+
+Paper setup: "the number of injuries ... is as high as Gamma'".  CDC-firearms
+uses two-year windows; the synthetic variant uses 100 URx values with 25
+non-overlapping 4-value windows and Gamma' = 100.  Algorithms: GreedyNaive,
+GreedyMinVar, Best.
+
+Expected shape: GreedyMinVar ≈ Best ≤ GreedyNaive, as for uniqueness — the
+algorithms make no assumption about which quality measure is used.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure7_robustness
+from repro.experiments.reporting import format_series_table
+
+BUDGETS = (0.1, 0.2, 0.4, 0.6, 0.8)
+
+
+@pytest.mark.benchmark(group="figure-07")
+def test_fig7a_cdc_firearms(benchmark, report):
+    result = run_once(
+        benchmark, figure7_robustness, "cdc_firearms", budget_fractions=BUDGETS
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 7a (CDC-firearms): expected variance of robustness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9
+
+
+@pytest.mark.benchmark(group="figure-07")
+def test_fig7b_urx(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure7_robustness,
+        "URx",
+        gamma=100.0,
+        n=100,
+        budget_fractions=BUDGETS,
+        include_best=False,
+    )
+    report(
+        format_series_table(
+            result.budget_fractions,
+            result.series,
+            title="Figure 7b (URx, Gamma'=100): expected variance of robustness",
+        )
+    )
+    for minvar, naive in zip(result.series["GreedyMinVar"], result.series["GreedyNaive"]):
+        assert minvar <= naive + 1e-9

@@ -1,0 +1,37 @@
+"""Figure 9: effectiveness in action — estimated duplicity on URx (Gamma = 100).
+
+Same protocol as Figure 8 on the synthetic URx dataset with 40 values and the
+"window sum as low as 100" claim.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.figures import figure9_in_action_synthetic
+from repro.experiments.reporting import format_rows
+
+BUDGETS = (0.1, 0.2, 0.4, 0.6, 1.0)
+
+
+@pytest.mark.benchmark(group="figure-09")
+def test_fig9_in_action_urx(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure9_in_action_synthetic,
+        "URx",
+        gamma=100.0,
+        n=40,
+        budget_fractions=BUDGETS,
+    )
+    report(
+        format_rows(
+            result.as_rows(),
+            columns=["algorithm", "budget_fraction", "estimated_mean", "estimated_std", "true_value"],
+            title="Figure 9 (URx, Gamma=100): estimated duplicity mean / stddev vs budget",
+        )
+    )
+    for algorithm in result.means:
+        assert result.means[algorithm][-1] == pytest.approx(result.true_value)
+        assert result.stds[algorithm][-1] == pytest.approx(0.0, abs=1e-9)
+    mid = len(BUDGETS) // 2
+    assert result.stds["GreedyMinVar"][mid] <= result.stds["GreedyNaive"][mid] + 1e-9

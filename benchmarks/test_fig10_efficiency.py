@@ -1,0 +1,55 @@
+"""Figure 10: running time of GreedyMinVar.
+
+Paper setup: URx scaled to 10,000 uncertain values with 2,500 non-overlapping
+perturbations, sweeping the budget; then dataset sizes from 50k to 1M values
+at a fixed budget.  We run the same sweeps at laptop/CI-friendly sizes
+(n = 2,000 for the budget sweep, n up to 4,000 for the size sweep) — the
+shape to reproduce is running time roughly linear in budget and super-linear
+in n.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.efficiency import time_budget_scaling, time_size_scaling
+from repro.experiments.reporting import format_rows
+
+
+@pytest.mark.benchmark(group="figure-10")
+def test_fig10a_budget_scaling(benchmark, report):
+    result = run_once(
+        benchmark,
+        time_budget_scaling,
+        n=2000,
+        budget_fractions=(0.01, 0.05, 0.1, 0.2, 0.3),
+        gamma=100.0,
+    )
+    report(
+        format_rows(
+            result.as_rows(),
+            title="Figure 10a: GreedyMinVar running time vs budget (n=2000)",
+        )
+    )
+    assert all(s >= 0.0 for s in result.seconds)
+    # More budget means more selections, which should not get cheaper.
+    assert result.seconds[-1] >= result.seconds[0] * 0.5
+
+
+@pytest.mark.benchmark(group="figure-10")
+def test_fig10b_size_scaling(benchmark, report):
+    result = run_once(
+        benchmark,
+        time_size_scaling,
+        sizes=(500, 1000, 2000, 4000),
+        budget=500.0,
+        gamma=100.0,
+    )
+    report(
+        format_rows(
+            result.as_rows(),
+            title="Figure 10b: GreedyMinVar running time vs dataset size (budget=500)",
+        )
+    )
+    assert all(s >= 0.0 for s in result.seconds)
+    # Bigger datasets take longer.
+    assert result.seconds[-1] >= result.seconds[0]

@@ -1,0 +1,127 @@
+"""Cleaning under correlated errors (Section 4.5 / Figure 11) and the
+MinVar-vs-MaxPr alignment question (Theorem 3.9 / Section 4.6).
+
+Part 1 injects a decaying covariance structure into the CDC-firearms error
+model and compares dependency-unaware algorithms (GreedyMinVar, Optimum)
+against dependency-aware ones (GreedyDep, exhaustive OPT) as the dependency
+strength grows.
+
+Part 2 checks the paper's Theorem 3.9 empirically: with errors centered at
+the current values, minimizing uncertainty in fairness and maximizing the
+chance of a counterargument pick the same values to clean; once the centers
+are shifted, the two objectives diverge.
+
+Run with:  python examples/dependency_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GaussianWorldModel,
+    GreedyDep,
+    GreedyMinVar,
+    OptimumModularMinVar,
+    budget_from_fraction,
+    check_alignment,
+    decaying_covariance,
+    load_cdc_firearms,
+    quadratic_coverage,
+)
+from repro.core.submodular import ExhaustiveMinVar
+from repro.experiments.reporting import format_rows
+from repro.experiments.workloads import fairness_window_comparison_workload
+
+
+def dependency_part() -> None:
+    database = load_cdc_firearms()
+    workload = fairness_window_comparison_workload(
+        database, width=4, later_window_start=4, max_perturbations=10
+    )
+    bias = workload.query_function
+    weights = bias.weights(len(database))
+    budget = budget_from_fraction(database, 0.3)
+
+    rows = []
+    for gamma in (0.0, 0.3, 0.6, 0.9):
+        covariance = decaying_covariance(database.stds, gamma)
+        model = GaussianWorldModel(database.current_values, covariance)
+
+        def remaining_variance(selected):
+            complement = [i for i in range(len(database)) if i not in set(selected)]
+            return quadratic_coverage(weights, covariance, complement)
+
+        algorithms = {
+            "GreedyMinVar (unaware)": GreedyMinVar(bias),
+            "Optimum (unaware)": OptimumModularMinVar(bias),
+            "GreedyDep (aware)": GreedyDep(bias, model, conditional=False),
+            "OPT (aware, exhaustive)": ExhaustiveMinVar(objective=remaining_variance),
+        }
+        for name, algorithm in algorithms.items():
+            selected = algorithm.select_indices(database, budget)
+            rows.append(
+                {
+                    "gamma": gamma,
+                    "algorithm": name,
+                    "variance_after_cleaning": remaining_variance(selected),
+                }
+            )
+    print(
+        format_rows(
+            rows,
+            columns=["gamma", "algorithm", "variance_after_cleaning"],
+            title="Part 1 - variance in fairness after cleaning 30% of the budget, "
+            "under injected dependency of strength gamma",
+        )
+    )
+    print(
+        "Dependency-unaware algorithms stay close to OPT while gamma is small and "
+        "drift as the correlation grows; the greedy strategy with covariance "
+        "knowledge (GreedyDep) tracks OPT throughout.\n"
+    )
+
+
+def alignment_part() -> None:
+    database = load_cdc_firearms().subset(range(8))
+    workload = fairness_window_comparison_workload(
+        database, width=2, later_window_start=2, max_perturbations=5
+    )
+    bias = workload.query_function
+    budget = budget_from_fraction(database, 0.4)
+    tau = 0.5 * float(np.sqrt(np.sum(bias.weights(len(database)) ** 2 * database.variances)))
+
+    # Centered errors: Theorem 3.9 says the two objectives agree.
+    centered = GaussianWorldModel.from_database(database, centered_at_current=True)
+    report = check_alignment(database, bias, centered, budget=budget, tau=tau)
+    print("Part 2 - Theorem 3.9 in action")
+    print(f"  centered errors: aligned = {report.aligned}")
+    print(f"    MinVar-optimal cleans {sorted(report.minvar_selection)}, "
+          f"MaxPr-optimal cleans {sorted(report.maxpr_selection)}")
+
+    # Shift the current values away from the means: alignment generally breaks.
+    rng = np.random.default_rng(3)
+    shifted_values = database.means + rng.normal(0, 2 * database.stds)
+    shifted_db = database.with_current_values(shifted_values)
+    shifted_bias = fairness_window_comparison_workload(
+        shifted_db, width=2, later_window_start=2, max_perturbations=5
+    ).query_function
+    shifted_model = GaussianWorldModel(
+        shifted_db.means, decaying_covariance(shifted_db.stds, 0.0)
+    )
+    shifted_report = check_alignment(shifted_db, shifted_bias, shifted_model, budget=budget, tau=tau)
+    print(f"  shifted current values: aligned = {shifted_report.aligned}")
+    print(f"    MinVar-optimal cleans {sorted(shifted_report.minvar_selection)} "
+          f"(counter probability {shifted_report.maxpr_objective_of_minvar:.3f})")
+    print(f"    MaxPr-optimal cleans {sorted(shifted_report.maxpr_selection)} "
+          f"(counter probability {shifted_report.maxpr_objective_of_maxpr:.3f})")
+    print(
+        "\nWhen the reported values cannot be assumed to sit at the center of the "
+        "error distribution, cleaning purely to counter the claim is a biased "
+        "strategy — exactly the caution the paper raises."
+    )
+
+
+if __name__ == "__main__":
+    dependency_part()
+    alignment_part()

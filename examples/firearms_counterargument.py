@@ -1,0 +1,90 @@
+"""Finding a counterargument with the smallest cleaning budget (Section 4.3).
+
+Scenario: a claim asserts that the most recent four-year period saw the
+lowest number of firearm injuries in recent history.  The reported numbers
+support the claim, but they carry sampling error; the true numbers may hide a
+counterexample in an earlier period.
+
+A fact-checker with a limited budget wants to clean (re-verify) values in the
+order most likely to surface that counterargument.  We compare GreedyMaxPr
+(which maximizes the probability that the claim-context "bias" drops, i.e.
+that some other period turns out at least as low) with GreedyNaive (which
+just cleans the noisiest affordable values), following each algorithm's
+cleaning order against a hidden ground truth.
+
+Run with:  python examples/firearms_counterargument.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Bias,
+    GreedyMaxPr,
+    GreedyNaive,
+    load_cdc_firearms,
+    window_sum_perturbations,
+)
+from repro.experiments.figures import counters_case_study
+from repro.experiments.reporting import format_rows
+from repro.experiments.scenarios import run_counter_discovery
+
+
+def manual_walkthrough() -> None:
+    """Set the scenario up by hand to show the moving parts."""
+    database = load_cdc_firearms()
+    n = len(database)
+    width = 4
+    original_start = n - width
+
+    perturbations = window_sum_perturbations(
+        n_objects=n, width=width, original_start=original_start, non_overlapping=True
+    )
+    bias = Bias(perturbations, database.current_values)
+
+    claimed = float(np.sum(database.current_values[original_start:]))
+    window_starts = [s for s in range(original_start % width, n - width + 1, width)]
+    print("Claim: the last four years had the fewest firearm injuries "
+          f"({claimed:,.0f}) of any recent four-year period.")
+    print("Reported four-year totals:")
+    for start in window_starts:
+        total = float(np.sum(database.current_values[start : start + width]))
+        marker = "  <- claimed period" if start == original_start else ""
+        years = f"{2001 + start}-{2001 + start + width - 1}"
+        print(f"  {years}: {total:>12,.0f}{marker}")
+
+    # A hidden ground truth drawn from the CDC error model.
+    rng = np.random.default_rng(7)
+    truth = database.sample_world(rng)
+
+    def counter_found(values: np.ndarray) -> bool:
+        sums = {s: float(np.sum(values[s : s + width])) for s in window_starts}
+        return any(sums[s] < claimed for s in window_starts if s != original_start)
+
+    result = run_counter_discovery(
+        database,
+        counter_found,
+        {"GreedyMaxPr": GreedyMaxPr(bias, tau=0.0), "GreedyNaive": GreedyNaive(bias)},
+        truth,
+    )
+    print("\nFollowing each algorithm's cleaning order against the hidden truth:")
+    print(format_rows(result.as_rows()))
+
+
+def paper_scenario() -> None:
+    """The packaged Section 4.3 scenario (seeds searched so a counter hides in old data)."""
+    result = counters_case_study("cdc_firearms", seed=2)
+    print("\nPackaged case study (counter hidden in an early, expensive-to-clean period):")
+    print(format_rows(result.as_rows()))
+    print(
+        "\nGreedyMaxPr spends its budget on the values whose re-draws are most "
+        "likely to flip some period below the claimed total, so it tends to "
+        "reveal the counterargument with less cleaning than the naive "
+        "variance-per-cost order."
+    )
+
+
+if __name__ == "__main__":
+    manual_walkthrough()
+    paper_scenario()

@@ -1,0 +1,86 @@
+"""Fairness of the Giuliani adoption claim (the paper's Example 4 / Figure 1a).
+
+The claim: "adoptions went up 65 to 70 percent" between 1989-1992 and
+1993-1996 in New York City.  We model it as a window-aggregate comparison
+over the Adoptions dataset, consider 18 perturbations of the comparison
+period with exponentially decaying sensibility, and ask: *which yearly counts
+should a fact-checker verify first* in order to pin down how fair the claim
+is?
+
+The script sweeps the cleaning budget and compares Random,
+GreedyNaiveCostBlind, GreedyNaive, GreedyMinVar and the exact knapsack
+Optimum — the same comparison as the paper's Figure 1a/1b.
+
+Run with:  python examples/giuliani_adoptions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GreedyMinVar,
+    GreedyNaive,
+    GreedyNaiveCostBlind,
+    OptimumModularMinVar,
+    RandomSelector,
+    budget_from_fraction,
+    linear_expected_variance,
+    load_adoptions,
+)
+from repro.experiments.reporting import format_series_table
+from repro.experiments.workloads import fairness_window_comparison_workload
+
+
+def main() -> None:
+    database = load_adoptions()
+    workload = fairness_window_comparison_workload(
+        database, width=4, later_window_start=4, max_perturbations=18, sensibility_rate=1.5
+    )
+    bias = workload.query_function
+    weights = bias.weights(len(database))
+
+    original = workload.perturbations.original
+    print("The Giuliani adoption claim")
+    print(f"  claim value on reported data: {original.evaluate(database.current_values):+.0f} "
+          "adoptions (1993-1996 minus 1989-1992)")
+    print(f"  perturbations considered: {len(workload.perturbations)}")
+    print(f"  initial variance in fairness: "
+          f"{linear_expected_variance(database, weights, []):,.1f}")
+
+    budget_fractions = (0.03, 0.05, 0.1, 0.2, 0.3, 0.5)
+    algorithms = {
+        "Random": RandomSelector(np.random.default_rng(0)),
+        "GreedyNaiveCostBlind": GreedyNaiveCostBlind(bias),
+        "GreedyNaive": GreedyNaive(bias),
+        "GreedyMinVar": GreedyMinVar(bias),
+        "Optimum": OptimumModularMinVar(bias),
+    }
+
+    series = {name: [] for name in algorithms}
+    for fraction in budget_fractions:
+        budget = budget_from_fraction(database, fraction)
+        for name, algorithm in algorithms.items():
+            selected = algorithm.select_indices(database, budget)
+            series[name].append(linear_expected_variance(database, weights, selected))
+
+    print()
+    print(
+        format_series_table(
+            budget_fractions,
+            series,
+            title="Variance in claim fairness after cleaning (lower is better)",
+        )
+    )
+
+    # Which years does the objective-aware strategy verify first?
+    budget = budget_from_fraction(database, 0.1)
+    plan = GreedyMinVar(bias).select(database, budget)
+    years = [database[i].name.split("_")[1] for i in plan.selected]
+    print(f"\nWith 10% of the budget GreedyMinVar verifies the counts for: {', '.join(years)}")
+    print("These are the years that contribute the most uncertainty to the fairness "
+          "measure per unit of cleaning cost — not simply the noisiest years.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""repro: selecting data to clean for fact-checking.
+
+A from-scratch reproduction of Sintos, Agarwal and Yang,
+"Selecting Data to Clean for Fact Checking: Minimizing Uncertainty vs.
+Maximizing Surprise" (VLDB 2019).  The library covers:
+
+* an uncertain-database substrate (:mod:`repro.uncertainty`),
+* the claim/perturbation/claim-quality framework (:mod:`repro.claims`),
+* the MinVar / MaxPr optimization problems and all the algorithms the paper
+  evaluates (:mod:`repro.core`),
+* reconstructions of the paper's datasets (:mod:`repro.datasets`), and
+* the experiment harness that regenerates every figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        load_cdc_firearms, fairness_window_comparison_workload,
+        GreedyMinVar, budget_from_fraction,
+    )
+
+    db = load_cdc_firearms()
+    workload = fairness_window_comparison_workload(db, width=4, later_window_start=4)
+    plan = GreedyMinVar(workload.query_function).select(
+        db, budget_from_fraction(db, 0.2)
+    )
+    print(plan.selected, plan.cost)
+"""
+
+from repro.uncertainty import (
+    DiscreteDistribution,
+    NormalSpec,
+    discretize_normal,
+    UncertainObject,
+    UncertainDatabase,
+    GaussianWorldModel,
+    decaying_covariance,
+    conditional_covariance,
+)
+from repro.claims import (
+    ClaimFunction,
+    LinearClaim,
+    WindowSumClaim,
+    WindowAggregateComparisonClaim,
+    ThresholdClaim,
+    SumClaim,
+    subtraction_strength,
+    lower_is_stronger,
+    relative_strength,
+    PerturbationSet,
+    exponential_sensibility,
+    uniform_sensibility,
+    window_shift_perturbations,
+    window_sum_perturbations,
+    ClaimQualityMeasure,
+    Bias,
+    Duplicity,
+    Fragility,
+)
+from repro.core import (
+    MinVarProblem,
+    MaxPrProblem,
+    CleaningPlan,
+    budget_from_fraction,
+    expected_variance_exact,
+    expected_variance_monte_carlo,
+    linear_expected_variance,
+    DecomposedEVCalculator,
+    make_ev_calculator,
+    surprise_probability_exact,
+    surprise_probability_monte_carlo,
+    surprise_probability_normal_linear,
+    make_surprise_calculator,
+    greedy_select,
+    RandomSelector,
+    GreedyNaiveCostBlind,
+    GreedyNaive,
+    GreedyMinVar,
+    GreedyMaxPr,
+    GreedyDep,
+    KnapsackSolution,
+    solve_knapsack_dp,
+    solve_knapsack_fptas,
+    solve_knapsack_greedy,
+    solve_min_knapsack_dp,
+    OptimumModularMinVar,
+    OptimumModularMaxPr,
+    curvature,
+    BestSubmodularMinVar,
+    ExhaustiveMinVar,
+    quadratic_coverage,
+    check_alignment,
+    WorldSampler,
+)
+from repro.datasets import (
+    load_adoptions,
+    load_cdc_firearms,
+    load_cdc_causes,
+    generate_urx,
+    generate_lnx,
+    generate_smx,
+)
+from repro.experiments import (
+    Workload,
+    fairness_window_comparison_workload,
+    cdc_causes_share_workload,
+    uniqueness_workload,
+    robustness_workload,
+    run_budget_sweep,
+    figures,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # uncertainty
+    "DiscreteDistribution",
+    "NormalSpec",
+    "discretize_normal",
+    "UncertainObject",
+    "UncertainDatabase",
+    "GaussianWorldModel",
+    "decaying_covariance",
+    "conditional_covariance",
+    # claims
+    "ClaimFunction",
+    "LinearClaim",
+    "WindowSumClaim",
+    "WindowAggregateComparisonClaim",
+    "ThresholdClaim",
+    "SumClaim",
+    "subtraction_strength",
+    "lower_is_stronger",
+    "relative_strength",
+    "PerturbationSet",
+    "exponential_sensibility",
+    "uniform_sensibility",
+    "window_shift_perturbations",
+    "window_sum_perturbations",
+    "ClaimQualityMeasure",
+    "Bias",
+    "Duplicity",
+    "Fragility",
+    # core
+    "MinVarProblem",
+    "MaxPrProblem",
+    "CleaningPlan",
+    "budget_from_fraction",
+    "expected_variance_exact",
+    "expected_variance_monte_carlo",
+    "linear_expected_variance",
+    "DecomposedEVCalculator",
+    "make_ev_calculator",
+    "surprise_probability_exact",
+    "surprise_probability_monte_carlo",
+    "surprise_probability_normal_linear",
+    "make_surprise_calculator",
+    "greedy_select",
+    "RandomSelector",
+    "GreedyNaiveCostBlind",
+    "GreedyNaive",
+    "GreedyMinVar",
+    "GreedyMaxPr",
+    "GreedyDep",
+    "KnapsackSolution",
+    "solve_knapsack_dp",
+    "solve_knapsack_fptas",
+    "solve_knapsack_greedy",
+    "solve_min_knapsack_dp",
+    "OptimumModularMinVar",
+    "OptimumModularMaxPr",
+    "curvature",
+    "BestSubmodularMinVar",
+    "ExhaustiveMinVar",
+    "quadratic_coverage",
+    "check_alignment",
+    "WorldSampler",
+    # datasets
+    "load_adoptions",
+    "load_cdc_firearms",
+    "load_cdc_causes",
+    "generate_urx",
+    "generate_lnx",
+    "generate_smx",
+    # experiments
+    "Workload",
+    "fairness_window_comparison_workload",
+    "cdc_causes_share_workload",
+    "uniqueness_workload",
+    "robustness_workload",
+    "run_budget_sweep",
+    "figures",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Claim substrate: claim functions, perturbations, and claim-quality measures.
+
+This subpackage implements the perturbation framework of Wu et al. that the
+paper builds on (Section 2.2): a claim is a query over the database, checking
+it means evaluating a set of *perturbations* of that query, and claim quality
+is summarized by fairness (bias), uniqueness (duplicity) and robustness
+(fragility) — each of which becomes the query function ``f`` in a MinVar or
+MaxPr instance.
+"""
+
+from repro.claims.functions import (
+    ClaimFunction,
+    LinearClaim,
+    WindowSumClaim,
+    WindowAggregateComparisonClaim,
+    ThresholdClaim,
+    SumClaim,
+)
+from repro.claims.strength import (
+    subtraction_strength,
+    lower_is_stronger,
+    relative_strength,
+)
+from repro.claims.perturbations import (
+    PerturbationSet,
+    exponential_sensibility,
+    uniform_sensibility,
+    window_shift_perturbations,
+    window_sum_perturbations,
+)
+from repro.claims.quality import (
+    ClaimQualityMeasure,
+    Bias,
+    Duplicity,
+    Fragility,
+)
+
+__all__ = [
+    "ClaimFunction",
+    "LinearClaim",
+    "WindowSumClaim",
+    "WindowAggregateComparisonClaim",
+    "ThresholdClaim",
+    "SumClaim",
+    "subtraction_strength",
+    "lower_is_stronger",
+    "relative_strength",
+    "PerturbationSet",
+    "exponential_sensibility",
+    "uniform_sensibility",
+    "window_shift_perturbations",
+    "window_sum_perturbations",
+    "ClaimQualityMeasure",
+    "Bias",
+    "Duplicity",
+    "Fragility",
+]

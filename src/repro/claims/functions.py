@@ -1,0 +1,251 @@
+"""Claim functions: queries over the uncertain database.
+
+A claim function maps a full vector of object values to a real number.  The
+paper's evaluation only needs a handful of forms, all of which are provided
+here:
+
+* :class:`LinearClaim` — ``q(x) = a . x + b``, the general linear claim of
+  Section 3.4 (window aggregate comparisons, weighted sums, ...).
+* :class:`WindowSumClaim` — sum of a contiguous window of values.
+* :class:`WindowAggregateComparisonClaim` — difference of two equal-width
+  window sums (Example 4, the Giuliani adoption claim).
+* :class:`SumClaim` — sum over an arbitrary index set (the CDC-causes
+  cross-category claims).
+* :class:`ThresholdClaim` — indicator ``1[q(x) {<=,<,>=,>} gamma]`` wrapping
+  another claim (Example 3 and the non-linear workloads of Section 4.2).
+
+Every claim exposes ``referenced_indices`` — the set of objects it actually
+reads — which drives the efficient expected-variance computation of
+Theorem 3.8 (terms only need to enumerate the worlds of the objects they
+reference).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ClaimFunction",
+    "LinearClaim",
+    "WindowSumClaim",
+    "WindowAggregateComparisonClaim",
+    "SumClaim",
+    "ThresholdClaim",
+]
+
+
+class ClaimFunction(abc.ABC):
+    """A real-valued query over the full vector of object values."""
+
+    @abc.abstractmethod
+    def evaluate(self, values: Sequence[float]) -> float:
+        """Evaluate the claim on a complete assignment of object values."""
+
+    @property
+    @abc.abstractmethod
+    def referenced_indices(self) -> FrozenSet[int]:
+        """Indices of the objects the claim actually reads."""
+
+    @property
+    def description(self) -> str:
+        """Human-readable description of the claim."""
+        return self.__class__.__name__
+
+    def __call__(self, values: Sequence[float]) -> float:
+        return self.evaluate(values)
+
+    # ------------------------------------------------------------------ #
+    # Linearity hooks
+    # ------------------------------------------------------------------ #
+    def is_linear(self) -> bool:
+        """True when the claim can be written as ``a . x + b``."""
+        return False
+
+    def weights(self, size: int) -> np.ndarray:
+        """Weight vector ``a`` (length ``size``) for linear claims.
+
+        Non-linear claims raise ``TypeError``.
+        """
+        raise TypeError(f"{self.description} is not a linear claim")
+
+    def intercept(self) -> float:
+        """Intercept ``b`` for linear claims."""
+        raise TypeError(f"{self.description} is not a linear claim")
+
+
+class LinearClaim(ClaimFunction):
+    """A general linear claim ``q(x) = sum_i a_i x_i + b``.
+
+    Weights are stored sparsely as ``{index: weight}`` so that
+    ``referenced_indices`` is exact and evaluation touches only the objects
+    the claim reads.
+    """
+
+    def __init__(self, weights: dict, intercept: float = 0.0, label: str = ""):
+        cleaned = {int(i): float(w) for i, w in weights.items() if w != 0.0}
+        if any(i < 0 for i in cleaned):
+            raise ValueError("object indices must be nonnegative")
+        self._weights = cleaned
+        self._intercept = float(intercept)
+        self._label = label
+        self._referenced = frozenset(cleaned)
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[float], intercept: float = 0.0, label: str = "") -> "LinearClaim":
+        """Build a linear claim from a dense weight vector."""
+        weights = {i: float(w) for i, w in enumerate(vector) if w != 0.0}
+        return cls(weights, intercept=intercept, label=label)
+
+    @property
+    def sparse_weights(self) -> dict:
+        """The ``{index: weight}`` mapping (a copy)."""
+        return dict(self._weights)
+
+    @property
+    def referenced_indices(self) -> FrozenSet[int]:
+        return self._referenced
+
+    @property
+    def description(self) -> str:
+        return self._label or f"LinearClaim(|support|={len(self._weights)})"
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        total = self._intercept
+        for index, weight in self._weights.items():
+            total += weight * values[index]
+        return float(total)
+
+    def is_linear(self) -> bool:
+        return True
+
+    def weights(self, size: int) -> np.ndarray:
+        if self._weights and max(self._weights) >= size:
+            raise ValueError(
+                f"claim references index {max(self._weights)} but size is {size}"
+            )
+        dense = np.zeros(size, dtype=float)
+        for index, weight in self._weights.items():
+            dense[index] = weight
+        return dense
+
+    def intercept(self) -> float:
+        return self._intercept
+
+    # Linear claims compose nicely; these helpers keep perturbation and bias
+    # construction readable.
+    def scaled(self, factor: float) -> "LinearClaim":
+        return LinearClaim(
+            {i: w * factor for i, w in self._weights.items()},
+            intercept=self._intercept * factor,
+            label=self._label,
+        )
+
+    def plus(self, other: "LinearClaim", label: str = "") -> "LinearClaim":
+        combined = dict(self._weights)
+        for index, weight in other._weights.items():
+            combined[index] = combined.get(index, 0.0) + weight
+        return LinearClaim(
+            combined, intercept=self._intercept + other._intercept, label=label
+        )
+
+    def __repr__(self) -> str:
+        return self.description
+
+
+class WindowSumClaim(LinearClaim):
+    """Sum of object values over a contiguous index window ``[start, start+width)``."""
+
+    def __init__(self, start: int, width: int, label: str = ""):
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if start < 0:
+            raise ValueError("window start must be nonnegative")
+        self.start = int(start)
+        self.width = int(width)
+        weights = {i: 1.0 for i in range(start, start + width)}
+        super().__init__(weights, label=label or f"sum[{start}:{start + width})")
+
+
+class WindowAggregateComparisonClaim(LinearClaim):
+    """Difference of two equal-width window sums (Example 4).
+
+    ``q(x) = sum(x[first_start : first_start+width]) - sum(x[second_start : second_start+width])``
+
+    The sign convention matches the paper: the claim's headline number is the
+    first window minus the second.  For the Giuliani adoption claim, the first
+    window is the later (1996--2001) period and the second the earlier one, so
+    a positive value means "adoptions went up".
+    """
+
+    def __init__(self, first_start: int, second_start: int, width: int, label: str = ""):
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if first_start < 0 or second_start < 0:
+            raise ValueError("window starts must be nonnegative")
+        first = set(range(first_start, first_start + width))
+        second = set(range(second_start, second_start + width))
+        weights = {}
+        for index in first | second:
+            weight = (1.0 if index in first else 0.0) - (1.0 if index in second else 0.0)
+            if weight != 0.0:
+                weights[index] = weight
+        self.first_start = int(first_start)
+        self.second_start = int(second_start)
+        self.width = int(width)
+        super().__init__(
+            weights,
+            label=label
+            or f"window[{first_start}:{first_start + width}) - window[{second_start}:{second_start + width})",
+        )
+
+
+class SumClaim(LinearClaim):
+    """Sum of object values over an arbitrary set of indices."""
+
+    def __init__(self, indices: Iterable[int], label: str = ""):
+        indices = sorted(set(int(i) for i in indices))
+        if not indices:
+            raise ValueError("a sum claim needs at least one index")
+        super().__init__({i: 1.0 for i in indices}, label=label or f"sum({indices})")
+        self.indices = indices
+
+
+class ThresholdClaim(ClaimFunction):
+    """Indicator claim ``1[inner(x) OP gamma]``.
+
+    Used by Example 3 (``1[X1+X2+X3 < 3]``) and the Section 4.2 uniqueness and
+    robustness workloads ("the number of injuries ... is as low as Gamma").
+    ``op`` is one of ``"<"``, ``"<="``, ``">"``, ``">="``.
+    """
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, inner: ClaimFunction, threshold: float, op: str = "<", label: str = ""):
+        if op not in self._OPS:
+            raise ValueError(f"op must be one of {sorted(self._OPS)}, got {op!r}")
+        self.inner = inner
+        self.threshold = float(threshold)
+        self.op = op
+        self._label = label
+
+    @property
+    def referenced_indices(self) -> FrozenSet[int]:
+        return self.inner.referenced_indices
+
+    @property
+    def description(self) -> str:
+        return self._label or f"1[{self.inner.description} {self.op} {self.threshold:g}]"
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        return 1.0 if self._OPS[self.op](self.inner.evaluate(values), self.threshold) else 0.0
+
+    def __repr__(self) -> str:
+        return self.description

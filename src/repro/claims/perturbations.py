@@ -1,0 +1,204 @@
+"""Perturbation sets and sensibility models.
+
+Checking a claim ``q*`` means putting it in the context of perturbations
+``Q = {q_1, ..., q_m}``, each weighted by a *sensibility* ``s_k >= 0`` with
+``sum_k s_k = 1`` (Section 2.2).  This module provides:
+
+* :class:`PerturbationSet` — the container pairing perturbation claims with
+  normalized sensibilities (and the original claim they perturb);
+* sensibility models — exponential decay over a distance measure (the paper's
+  choice, decay rate ``lambda = 1.5`` in Section 4.1) and uniform weights;
+* generators for the two perturbation families the evaluation uses —
+  shifted window-aggregate comparisons and shifted window sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.claims.functions import (
+    ClaimFunction,
+    WindowAggregateComparisonClaim,
+    WindowSumClaim,
+)
+
+__all__ = [
+    "PerturbationSet",
+    "exponential_sensibility",
+    "uniform_sensibility",
+    "window_shift_perturbations",
+    "window_sum_perturbations",
+]
+
+
+@dataclass(frozen=True)
+class PerturbationSet:
+    """An original claim together with its perturbations and sensibilities.
+
+    ``sensibilities`` are normalized at construction so they always sum to 1,
+    matching the paper's definition of a probability distribution over
+    perturbations.
+    """
+
+    original: ClaimFunction
+    perturbations: Tuple[ClaimFunction, ...]
+    sensibilities: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.perturbations) == 0:
+            raise ValueError("a perturbation set needs at least one perturbation")
+        if len(self.perturbations) != len(self.sensibilities):
+            raise ValueError(
+                f"{len(self.perturbations)} perturbations but "
+                f"{len(self.sensibilities)} sensibilities"
+            )
+        weights = np.asarray(self.sensibilities, dtype=float)
+        if np.any(weights < 0):
+            raise ValueError("sensibilities must be nonnegative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("sensibilities must not all be zero")
+        object.__setattr__(self, "sensibilities", tuple(float(w / total) for w in weights))
+        object.__setattr__(self, "perturbations", tuple(self.perturbations))
+
+    def __len__(self) -> int:
+        return len(self.perturbations)
+
+    def __iter__(self):
+        return iter(zip(self.perturbations, self.sensibilities))
+
+    @classmethod
+    def with_sensibility_model(
+        cls,
+        original: ClaimFunction,
+        perturbations: Sequence[ClaimFunction],
+        distances: Sequence[float],
+        model: Callable[[Sequence[float]], Sequence[float]],
+    ) -> "PerturbationSet":
+        """Build a set using a sensibility model applied to per-perturbation distances."""
+        weights = model(distances)
+        return cls(original, tuple(perturbations), tuple(weights))
+
+    def referenced_indices(self) -> frozenset:
+        """Union of the object indices referenced by the original and all perturbations."""
+        indices = set(self.original.referenced_indices)
+        for claim in self.perturbations:
+            indices |= claim.referenced_indices
+        return frozenset(indices)
+
+    def original_value(self, values: Sequence[float]) -> float:
+        """The original claim's value on a full assignment (usually ``u``)."""
+        return self.original.evaluate(values)
+
+
+def exponential_sensibility(distances: Sequence[float], rate: float = 1.5) -> List[float]:
+    """Sensibilities decaying exponentially with distance: ``rate ** -d``.
+
+    The paper's Section 4.1 uses rate ``lambda = 1.5`` over the number of
+    years between the endpoints of the comparison periods.  Weights are
+    returned unnormalized; :class:`PerturbationSet` normalizes them.
+    """
+    if rate <= 1.0:
+        raise ValueError("decay rate must be greater than 1")
+    return [float(rate ** (-abs(d))) for d in distances]
+
+
+def uniform_sensibility(distances: Sequence[float]) -> List[float]:
+    """Equal weight for every perturbation regardless of distance."""
+    return [1.0 for _ in distances]
+
+
+def window_shift_perturbations(
+    n_objects: int,
+    width: int,
+    original_first_start: int,
+    original_second_start: int,
+    max_perturbations: Optional[int] = None,
+    sensibility_rate: float = 1.5,
+    include_original: bool = False,
+) -> PerturbationSet:
+    """Perturbations of a window-aggregate comparison claim by shifting both windows.
+
+    The original claim compares ``[first, first+width)`` against
+    ``[second, second+width)``; perturbations keep the same form (two
+    back-to-back or equally offset windows) but slide the pair across the
+    timeline, exactly the "each ending with a different year" workload of
+    Section 4.1.  The distance of a perturbation is the shift in years, and
+    sensibilities decay exponentially with it.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    offset = original_second_start - original_first_start
+    original = WindowAggregateComparisonClaim(
+        original_first_start, original_second_start, width, label="original"
+    )
+
+    perturbations: List[ClaimFunction] = []
+    distances: List[float] = []
+    min_start = max(0, -offset)
+    max_start = n_objects - width - max(0, offset)
+    for first_start in range(min_start, max_start + 1):
+        shift = first_start - original_first_start
+        if shift == 0 and not include_original:
+            continue
+        second_start = first_start + offset
+        claim = WindowAggregateComparisonClaim(
+            first_start, second_start, width, label=f"shift{shift:+d}"
+        )
+        perturbations.append(claim)
+        distances.append(abs(shift))
+
+    if max_perturbations is not None and len(perturbations) > max_perturbations:
+        order = np.argsort(distances, kind="stable")[:max_perturbations]
+        order = sorted(order)
+        perturbations = [perturbations[i] for i in order]
+        distances = [distances[i] for i in order]
+
+    weights = exponential_sensibility(distances, rate=sensibility_rate)
+    return PerturbationSet(original, tuple(perturbations), tuple(weights))
+
+
+def window_sum_perturbations(
+    n_objects: int,
+    width: int,
+    original_start: int,
+    max_perturbations: Optional[int] = None,
+    sensibility_rate: float = 1.5,
+    non_overlapping: bool = False,
+    include_original: bool = False,
+) -> PerturbationSet:
+    """Perturbations of a window-sum claim by sliding the window.
+
+    Used by the Section 4.2 uniqueness/robustness workloads ("the number of
+    injuries over the last two years is as low as Gamma"): perturbations are
+    the same aggregate over other periods.  With ``non_overlapping`` the
+    window slides in steps of ``width`` (the Section 4.6 setup); otherwise it
+    slides one position at a time.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    original = WindowSumClaim(original_start, width, label="original")
+
+    step = width if non_overlapping else 1
+    starts = list(range(original_start % step if non_overlapping else 0, n_objects - width + 1, step))
+
+    perturbations: List[ClaimFunction] = []
+    distances: List[float] = []
+    for start in starts:
+        if start == original_start and not include_original:
+            continue
+        shift = start - original_start
+        perturbations.append(WindowSumClaim(start, width, label=f"window@{start}"))
+        distances.append(abs(shift))
+
+    if max_perturbations is not None and len(perturbations) > max_perturbations:
+        order = np.argsort(distances, kind="stable")[:max_perturbations]
+        order = sorted(order)
+        perturbations = [perturbations[i] for i in order]
+        distances = [distances[i] for i in order]
+
+    weights = exponential_sensibility(distances, rate=sensibility_rate)
+    return PerturbationSet(original, tuple(perturbations), tuple(weights))

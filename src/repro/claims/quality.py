@@ -1,0 +1,211 @@
+"""Claim-quality measures: fairness (bias), uniqueness (duplicity), robustness (fragility).
+
+Each measure summarizes, over all perturbations, how a perturbation's result
+compares with the original claim's result on the *current* database values
+(Section 2.2).  When object values are uncertain, each measure is a random
+variable over the worlds of ``X`` and becomes the query function ``f`` of a
+MinVar (or, for bias, MaxPr) instance.
+
+Every measure is a :class:`~repro.claims.functions.ClaimFunction` and
+additionally exposes a *term decomposition*: the measure is a sum of per-
+perturbation terms, each referencing only the objects of that perturbation.
+The decomposition is what makes the expected-variance computation of
+Theorem 3.8 polynomial — variances and pairwise covariances of terms only
+need to enumerate the worlds of the objects they actually reference.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction, LinearClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.strength import StrengthFunction, subtraction_strength
+
+__all__ = ["QualityTerm", "ClaimQualityMeasure", "Bias", "Duplicity", "Fragility"]
+
+
+@dataclass(frozen=True)
+class QualityTerm:
+    """One additive term of a claim-quality measure.
+
+    ``function`` maps a full value vector to the term's contribution;
+    ``referenced_indices`` is the exact set of objects it reads.  When the
+    term is "a scalar transform of one perturbation claim's value" (always the
+    case for the three paper measures), ``claim`` and ``transform`` expose
+    that structure so the expected-variance machinery can work on the
+    distribution of the claim value (a one-dimensional convolution for linear
+    claims) instead of enumerating full value vectors.
+    """
+
+    function: Callable[[Sequence[float]], float]
+    referenced_indices: FrozenSet[int]
+    label: str = ""
+    claim: Optional[ClaimFunction] = None
+    transform: Optional[Callable[[float], float]] = None
+
+    def __call__(self, values: Sequence[float]) -> float:
+        return self.function(values)
+
+
+class ClaimQualityMeasure(ClaimFunction):
+    """Base class for the three claim-quality measures.
+
+    Parameters
+    ----------
+    perturbations:
+        The original claim, its perturbations and their sensibilities.
+    baseline_values:
+        The current database values ``u``; the original claim is evaluated on
+        them once and the result is the fixed reference every perturbation is
+        compared against (the paper writes the measures as functions of
+        ``q*(u)`` and ``X``).
+    strength:
+        The relative strength function ``Delta``; defaults to subtraction.
+    baseline:
+        Optional explicit reference value.  By default the original claim is
+        evaluated on ``baseline_values``; the Section 4.2 workloads instead
+        compare perturbations against the asserted constant ``Gamma`` ("the
+        number of injuries is as low as Gamma"), which callers pass here.
+    """
+
+    def __init__(
+        self,
+        perturbations: PerturbationSet,
+        baseline_values: Sequence[float],
+        strength: StrengthFunction = subtraction_strength,
+        baseline: Optional[float] = None,
+    ):
+        self.perturbation_set = perturbations
+        self.strength = strength
+        self.baseline_values = np.asarray(baseline_values, dtype=float)
+        self.baseline = float(
+            perturbations.original.evaluate(self.baseline_values)
+            if baseline is None
+            else baseline
+        )
+        self._terms = self._build_terms()
+        referenced: set = set()
+        for term in self._terms:
+            referenced |= term.referenced_indices
+        self._referenced = frozenset(referenced)
+
+    # ------------------------------------------------------------------ #
+    # Term decomposition
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _term_value(self, perturbation_value: float, sensibility: float) -> float:
+        """Contribution of one perturbation given its value and sensibility."""
+
+    def _build_terms(self) -> List[QualityTerm]:
+        terms: List[QualityTerm] = []
+        for k, (claim, sensibility) in enumerate(self.perturbation_set):
+            terms.append(self._make_term(k, claim, sensibility))
+        return terms
+
+    def _make_term(self, index: int, claim: ClaimFunction, sensibility: float) -> QualityTerm:
+        def term_function(values: Sequence[float], _claim=claim, _s=sensibility) -> float:
+            return self._term_value(_claim.evaluate(values), _s)
+
+        def transform(claim_value: float, _s=sensibility) -> float:
+            return self._term_value(claim_value, _s)
+
+        return QualityTerm(
+            function=term_function,
+            referenced_indices=claim.referenced_indices,
+            label=f"{self.__class__.__name__}[{claim.description}]",
+            claim=claim,
+            transform=transform,
+        )
+
+    @property
+    def terms(self) -> List[QualityTerm]:
+        """The per-perturbation additive terms (Theorem 3.8 decomposition)."""
+        return list(self._terms)
+
+    # ------------------------------------------------------------------ #
+    # ClaimFunction interface
+    # ------------------------------------------------------------------ #
+    def evaluate(self, values: Sequence[float]) -> float:
+        return float(sum(term(values) for term in self._terms))
+
+    @property
+    def referenced_indices(self) -> FrozenSet[int]:
+        return self._referenced
+
+    @property
+    def description(self) -> str:
+        return f"{self.__class__.__name__}(m={len(self._terms)}, baseline={self.baseline:g})"
+
+    def __repr__(self) -> str:
+        return self.description
+
+
+class Bias(ClaimQualityMeasure):
+    """Fairness measure: ``bias = sum_k s_k * Delta(q_k(X), q*(u))``.
+
+    Zero bias means perturbations on average match the original claim; a
+    negative bias means the original claim exaggerates.  For linear claims
+    with subtraction strength, bias itself is a linear function of ``X`` and
+    :meth:`as_linear_claim` yields the exact weight vector used by the modular
+    MinVar / MaxPr solvers (Section 3.2).
+    """
+
+    def _term_value(self, perturbation_value: float, sensibility: float) -> float:
+        return sensibility * self.strength(perturbation_value, self.baseline)
+
+    def is_linear(self) -> bool:
+        return self.strength is subtraction_strength and all(
+            claim.is_linear() for claim, _ in self.perturbation_set
+        )
+
+    def as_linear_claim(self, size: int) -> LinearClaim:
+        """Bias as an explicit linear claim ``w . X + b`` (Section 3.4).
+
+        ``w_i = sum_k s_k a_{k,i}`` and ``b = sum_k s_k (b_k - q*(u))``.
+        Requires linear perturbations and subtraction strength.
+        """
+        if not self.is_linear():
+            raise TypeError("bias is only linear for linear claims with subtraction strength")
+        weights = np.zeros(size, dtype=float)
+        intercept = 0.0
+        for claim, sensibility in self.perturbation_set:
+            weights += sensibility * claim.weights(size)
+            intercept += sensibility * (claim.intercept() - self.baseline)
+        return LinearClaim.from_vector(weights, intercept=intercept, label="bias")
+
+    def weights(self, size: int) -> np.ndarray:
+        return self.as_linear_claim(size).weights(size)
+
+    def intercept(self) -> float:
+        size = (max(self._referenced) + 1) if self._referenced else 0
+        return self.as_linear_claim(size).intercept()
+
+
+class Duplicity(ClaimQualityMeasure):
+    """Uniqueness measure: ``dup = sum_k 1[Delta(q_k(X), q*(u)) >= 0]``.
+
+    Counts the perturbations that are at least as strong as the original
+    claim; the lower the duplicity, the more unique the claim.  The indicator
+    makes this measure non-linear even for linear claims, which is why the
+    submodular machinery of Section 3.3 is needed.
+    """
+
+    def _term_value(self, perturbation_value: float, sensibility: float) -> float:
+        return 1.0 if self.strength(perturbation_value, self.baseline) >= 0.0 else 0.0
+
+
+class Fragility(ClaimQualityMeasure):
+    """Robustness measure: ``frag = sum_k s_k * (min{Delta(q_k(X), q*(u)), 0})**2``.
+
+    Low fragility means it is hard to find perturbations that weaken the
+    original claim.  The squared-hinge makes this measure non-linear.
+    """
+
+    def _term_value(self, perturbation_value: float, sensibility: float) -> float:
+        weakening = min(self.strength(perturbation_value, self.baseline), 0.0)
+        return sensibility * weakening * weakening

@@ -1,0 +1,44 @@
+"""Relative strength functions.
+
+The perturbation framework compares a perturbation's result against the
+original claim's result with a *relative strength* function ``Delta(a, b)``:
+positive values mean the perturbation strengthens the original claim, negative
+values mean it weakens it.  The paper uses plain subtraction for linear claims
+(Section 3.4); a relative (percentage) variant is provided for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "StrengthFunction",
+    "subtraction_strength",
+    "lower_is_stronger",
+    "relative_strength",
+]
+
+StrengthFunction = Callable[[float, float], float]
+
+
+def subtraction_strength(perturbation_value: float, original_value: float) -> float:
+    """``Delta(a, b) = a - b`` — the paper's default for linear claims."""
+    return float(perturbation_value - original_value)
+
+
+def lower_is_stronger(perturbation_value: float, original_value: float) -> float:
+    """``Delta(a, b) = b - a`` — for claims where a *lower* result is stronger.
+
+    The Section 4.2 uniqueness workloads check claims of the form "the number
+    of injuries is as low as Gamma"; a perturbation strengthens such a claim
+    when its value is *no higher* than the original's, so the strength is the
+    negated difference.
+    """
+    return float(original_value - perturbation_value)
+
+
+def relative_strength(perturbation_value: float, original_value: float) -> float:
+    """Relative difference ``(a - b) / |b|`` (falls back to subtraction at b = 0)."""
+    if original_value == 0.0:
+        return float(perturbation_value - original_value)
+    return float((perturbation_value - original_value) / abs(original_value))

@@ -1,0 +1,133 @@
+"""Core optimization layer: MinVar / MaxPr problems and their algorithms."""
+
+from repro.core.problems import (
+    MinVarProblem,
+    MaxPrProblem,
+    CleaningPlan,
+    budget_from_fraction,
+)
+from repro.core.expected_variance import (
+    expected_variance_exact,
+    expected_variance_monte_carlo,
+    linear_expected_variance,
+    DecomposedEVCalculator,
+    make_ev_calculator,
+)
+from repro.core.surprise import (
+    surprise_probability_exact,
+    surprise_probability_monte_carlo,
+    surprise_probability_normal_linear,
+    make_surprise_calculator,
+)
+from repro.core.greedy import (
+    greedy_select,
+    RandomSelector,
+    GreedyNaiveCostBlind,
+    GreedyNaive,
+    GreedyMinVar,
+    GreedyMaxPr,
+    GreedyDep,
+)
+from repro.core.knapsack import (
+    KnapsackSolution,
+    solve_knapsack_dp,
+    solve_knapsack_fptas,
+    solve_knapsack_greedy,
+    solve_min_knapsack_dp,
+)
+from repro.core.modular import (
+    modular_minvar_weights,
+    modular_maxpr_weights,
+    OptimumModularMinVar,
+    OptimumModularMaxPr,
+)
+from repro.core.submodular import (
+    curvature,
+    BestSubmodularMinVar,
+    ExhaustiveMinVar,
+    bicriteria_unit_cost,
+)
+from repro.core.alignment import (
+    quadratic_coverage,
+    solve_coverage_exhaustive,
+    solve_coverage_greedy,
+    AlignmentReport,
+    check_alignment,
+)
+from repro.core.montecarlo import WorldSampler
+from repro.core.adaptive import (
+    AdaptiveMinVar,
+    AdaptiveMaxPr,
+    AdaptiveRun,
+    AdaptiveStep,
+    ground_truth_oracle,
+    sampling_oracle,
+)
+from repro.core.partial import (
+    shrink_distribution,
+    partially_cleaned,
+    partial_linear_expected_variance,
+    GreedyPartialMinVar,
+)
+from repro.core.entropy import (
+    entropy_of_pmf,
+    result_entropy,
+    expected_entropy,
+    GreedyMinEntropy,
+)
+
+__all__ = [
+    "AdaptiveMinVar",
+    "AdaptiveMaxPr",
+    "AdaptiveRun",
+    "AdaptiveStep",
+    "ground_truth_oracle",
+    "sampling_oracle",
+    "shrink_distribution",
+    "partially_cleaned",
+    "partial_linear_expected_variance",
+    "GreedyPartialMinVar",
+    "entropy_of_pmf",
+    "result_entropy",
+    "expected_entropy",
+    "GreedyMinEntropy",
+    "MinVarProblem",
+    "MaxPrProblem",
+    "CleaningPlan",
+    "budget_from_fraction",
+    "expected_variance_exact",
+    "expected_variance_monte_carlo",
+    "linear_expected_variance",
+    "DecomposedEVCalculator",
+    "make_ev_calculator",
+    "surprise_probability_exact",
+    "surprise_probability_monte_carlo",
+    "surprise_probability_normal_linear",
+    "make_surprise_calculator",
+    "greedy_select",
+    "RandomSelector",
+    "GreedyNaiveCostBlind",
+    "GreedyNaive",
+    "GreedyMinVar",
+    "GreedyMaxPr",
+    "GreedyDep",
+    "KnapsackSolution",
+    "solve_knapsack_dp",
+    "solve_knapsack_fptas",
+    "solve_knapsack_greedy",
+    "solve_min_knapsack_dp",
+    "modular_minvar_weights",
+    "modular_maxpr_weights",
+    "OptimumModularMinVar",
+    "OptimumModularMaxPr",
+    "curvature",
+    "BestSubmodularMinVar",
+    "ExhaustiveMinVar",
+    "bicriteria_unit_cost",
+    "quadratic_coverage",
+    "solve_coverage_exhaustive",
+    "solve_coverage_greedy",
+    "AlignmentReport",
+    "check_alignment",
+    "WorldSampler",
+]

@@ -1,0 +1,241 @@
+"""Adaptive cleaning policies (the paper's Section 6 future-work direction).
+
+The algorithms in :mod:`repro.core.greedy` commit to a whole cleaning set up
+front.  An *adaptive* policy instead cleans one object at a time, observes the
+revealed value, updates the database, and only then decides what to clean
+next.  Adaptivity is particularly useful for MaxPr: once a counterargument has
+been revealed there is no reason to keep spending budget, and a revealed value
+changes which remaining objects are most likely to produce the needed drop.
+
+Two policies are provided:
+
+* :class:`AdaptiveMinVar` — at every step cleans the affordable object with
+  the largest reduction in expected variance *given everything revealed so
+  far*.
+* :class:`AdaptiveMaxPr` — at every step cleans the affordable object that
+  maximizes the probability of reaching the surprise target given the values
+  revealed so far, and stops as soon as the target is already met (or no
+  object can still help).
+
+Both interact with the world through a *reveal oracle* — any callable mapping
+an object index to its true value.  :func:`ground_truth_oracle` builds one
+from a fixed hidden world (the usual simulation setup);
+:func:`sampling_oracle` draws outcomes from the error model instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction
+from repro.core.expected_variance import make_ev_calculator
+from repro.core.surprise import make_surprise_calculator
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "RevealOracle",
+    "ground_truth_oracle",
+    "sampling_oracle",
+    "AdaptiveStep",
+    "AdaptiveRun",
+    "AdaptiveMinVar",
+    "AdaptiveMaxPr",
+]
+
+RevealOracle = Callable[[int], float]
+
+
+def ground_truth_oracle(truth: Sequence[float]) -> RevealOracle:
+    """Oracle that reveals values from a fixed hidden world."""
+    values = np.asarray(truth, dtype=float)
+
+    def reveal(index: int) -> float:
+        return float(values[int(index)])
+
+    return reveal
+
+
+def sampling_oracle(database: UncertainDatabase, rng: np.random.Generator) -> RevealOracle:
+    """Oracle that draws each revealed value from the object's error model."""
+
+    def reveal(index: int) -> float:
+        return float(database[int(index)].sample(rng))
+
+    return reveal
+
+
+@dataclass(frozen=True)
+class AdaptiveStep:
+    """One cleaning action taken by an adaptive policy."""
+
+    index: int
+    revealed_value: float
+    cost: float
+    objective_before: float
+    objective_after: float
+
+
+@dataclass
+class AdaptiveRun:
+    """Trace of an adaptive cleaning session."""
+
+    steps: List[AdaptiveStep] = field(default_factory=list)
+    total_cost: float = 0.0
+    final_objective: Optional[float] = None
+    stopped_early: bool = False
+
+    @property
+    def cleaned_indices(self) -> List[int]:
+        return [step.index for step in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class AdaptiveMinVar:
+    """Sequentially clean the object with the largest conditional variance reduction.
+
+    After each reveal the database is conditioned on the observed value, so
+    later decisions account for how the outcome shifted the query function's
+    distribution — unlike the static GreedyMinVar, which evaluates everything
+    against the prior.
+    """
+
+    name = "AdaptiveMinVar"
+
+    def __init__(self, function: ClaimFunction, min_gain: float = 1e-12):
+        self.function = function
+        self.min_gain = min_gain
+
+    def run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        oracle: RevealOracle,
+    ) -> AdaptiveRun:
+        """Clean adaptively until the budget is exhausted or nothing helps."""
+        working = database
+        costs = database.costs
+        run = AdaptiveRun()
+        spent = 0.0
+        cleaned: set = set()
+
+        while True:
+            ev = make_ev_calculator(working, self.function)
+            current = ev([])
+            candidates = [
+                i
+                for i in range(len(database))
+                if i not in cleaned and spent + costs[i] <= budget + 1e-9
+            ]
+            if not candidates:
+                run.final_objective = current
+                return run
+            gains = {i: current - ev([i]) for i in candidates}
+            best = max(candidates, key=lambda i: gains[i] / costs[i])
+            if gains[best] <= self.min_gain:
+                run.final_objective = current
+                run.stopped_early = True
+                return run
+
+            revealed = oracle(best)
+            working = working.cleaned({best: revealed})
+            after = make_ev_calculator(working, self.function)([])
+            cleaned.add(best)
+            spent += costs[best]
+            run.steps.append(
+                AdaptiveStep(
+                    index=best,
+                    revealed_value=revealed,
+                    cost=float(costs[best]),
+                    objective_before=current,
+                    objective_after=after,
+                )
+            )
+            run.total_cost = spent
+            run.final_objective = after
+
+
+class AdaptiveMaxPr:
+    """Sequentially clean toward a surprise target, stopping once it is met.
+
+    The target is ``f`` dropping below ``f(u) - tau`` where ``u`` is the
+    *original* database's current values.  At every step the policy evaluates,
+    for each affordable object, the probability that cleaning it (on top of
+    everything already revealed) meets the target, cleans the best one, and
+    re-plans.  If the revealed values alone already meet the target the run
+    stops — the counterargument is in hand and the remaining budget is saved.
+    """
+
+    name = "AdaptiveMaxPr"
+
+    def __init__(self, function: ClaimFunction, tau: float = 0.0, min_gain: float = 1e-12):
+        self.function = function
+        self.tau = tau
+        self.min_gain = min_gain
+
+    def run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        oracle: RevealOracle,
+    ) -> AdaptiveRun:
+        baseline = float(self.function.evaluate(database.current_values))
+        target = baseline - self.tau
+        working = database
+        costs = database.costs
+        run = AdaptiveRun()
+        spent = 0.0
+        cleaned: set = set()
+
+        while True:
+            current_value = float(self.function.evaluate(working.current_values))
+            if current_value < target - 1e-12:
+                # The revealed data already supports the counterargument.
+                run.final_objective = 1.0
+                run.stopped_early = True
+                return run
+
+            candidates = [
+                i
+                for i in range(len(database))
+                if i not in cleaned and spent + costs[i] <= budget + 1e-9
+            ]
+            if not candidates:
+                run.final_objective = 0.0
+                return run
+
+            # The surprise calculator measures drops relative to the *working*
+            # database's current values, so express the original target as the
+            # drop still required from the current (partially revealed) state.
+            required_drop = current_value - target
+            calculator = make_surprise_calculator(
+                working, self.function, tau=max(required_drop, 0.0)
+            )
+            scores: Dict[int, float] = {i: calculator([i]) for i in candidates}
+            best = max(candidates, key=lambda i: scores[i] / costs[i])
+            if scores[best] <= self.min_gain:
+                run.final_objective = 0.0
+                run.stopped_early = True
+                return run
+
+            revealed = oracle(best)
+            before = scores[best]
+            working = working.cleaned({best: revealed})
+            cleaned.add(best)
+            spent += costs[best]
+            after_value = float(self.function.evaluate(working.current_values))
+            run.steps.append(
+                AdaptiveStep(
+                    index=best,
+                    revealed_value=revealed,
+                    cost=float(costs[best]),
+                    objective_before=before,
+                    objective_after=1.0 if after_value < target - 1e-12 else 0.0,
+                )
+            )
+            run.total_cost = spent
+            run.final_objective = run.steps[-1].objective_after

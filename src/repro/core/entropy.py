@@ -1,0 +1,136 @@
+"""Entropy-based uncertainty, as an ablation against the paper's variance objective.
+
+Related work (Cheng et al.'s PWS-quality, discussed in Section 5) measures
+result quality with entropy instead of variance.  The paper argues variance is
+the better fit for numeric fact-checking measures because it weighs *how far*
+outcomes spread, not just how many outcomes are likely.  This module provides
+the entropy counterpart so that claim can be examined empirically:
+
+* :func:`entropy_of_pmf`, :func:`result_entropy` — Shannon entropy of the
+  query-function result distribution;
+* :func:`expected_entropy` — the expected post-cleaning entropy ``EH(T)``
+  (the entropy analogue of ``EV(T)``);
+* :class:`GreedyMinEntropy` — the Algorithm-1 greedy driven by entropy
+  reduction instead of variance reduction.
+
+``benchmarks/test_ablation_entropy.py`` compares the selections the two
+objectives make on the same workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction
+from repro.core.greedy import greedy_select
+from repro.core.problems import CleaningPlan
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "entropy_of_pmf",
+    "result_entropy",
+    "expected_entropy",
+    "GreedyMinEntropy",
+]
+
+
+def entropy_of_pmf(probabilities: Iterable[float]) -> float:
+    """Shannon entropy (in bits) of a probability mass function."""
+    total = 0.0
+    for p in probabilities:
+        if p < -1e-12:
+            raise ValueError("probabilities must be nonnegative")
+        if p > 1e-15:
+            total -= p * math.log2(p)
+    return float(total)
+
+
+def _result_pmf(
+    database: UncertainDatabase,
+    function: ClaimFunction,
+    free_indices: Sequence[int],
+    fixed: Dict[int, float],
+) -> Dict[float, float]:
+    """Distribution of the query-function result with ``free_indices`` random."""
+    base = database.current_values
+    pmf: Dict[float, float] = {}
+    for assignment, probability in database.enumerate_joint_support(free_indices):
+        values = np.array(base, copy=True)
+        for index, value in fixed.items():
+            values[index] = value
+        for index, value in assignment.items():
+            values[index] = value
+        result = round(float(function.evaluate(values)), 12)
+        pmf[result] = pmf.get(result, 0.0) + probability
+    return pmf
+
+
+def result_entropy(database: UncertainDatabase, function: ClaimFunction) -> float:
+    """Entropy of ``f(X)`` under the database's (independent, discrete) error model."""
+    referenced = sorted(function.referenced_indices)
+    pmf = _result_pmf(database, function, referenced, {})
+    return entropy_of_pmf(pmf.values())
+
+
+def expected_entropy(
+    database: UncertainDatabase,
+    function: ClaimFunction,
+    cleaned: Iterable[int],
+) -> float:
+    """Expected post-cleaning entropy ``EH(T)`` (the entropy analogue of EV).
+
+    Enumerates the cleaning outcomes of ``T`` (restricted to the referenced
+    objects) and averages the conditional entropy of the result.  Like the
+    exact EV computation this is exponential in the number of referenced
+    objects and meant for small workloads and ablations.
+    """
+    cleaned_set = frozenset(int(i) for i in cleaned)
+    referenced = function.referenced_indices
+    cleaned_referenced = sorted(cleaned_set & referenced)
+    free = sorted(referenced - cleaned_set)
+
+    total = 0.0
+    for assignment, probability in database.enumerate_joint_support(cleaned_referenced):
+        pmf = _result_pmf(database, function, free, dict(assignment))
+        total += probability * entropy_of_pmf(pmf.values())
+    return float(total)
+
+
+class GreedyMinEntropy:
+    """Algorithm-1 greedy whose benefit is the reduction in expected entropy.
+
+    Provided as an ablation baseline: on indicator-style claim-quality
+    measures it often agrees with GreedyMinVar, but on measures where the
+    *magnitude* of deviations matters (fragility, bias) entropy ignores how
+    far apart the outcomes are and can prefer less useful objects.
+    """
+
+    name = "GreedyMinEntropy"
+
+    def __init__(self, function: ClaimFunction):
+        self.function = function
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        cache: Dict[frozenset, float] = {}
+
+        def entropy(indices: Tuple[int, ...]) -> float:
+            key = frozenset(indices)
+            if key not in cache:
+                cache[key] = expected_entropy(database, self.function, key)
+            return cache[key]
+
+        def benefit(current: Sequence[int], index: int) -> float:
+            current_tuple = tuple(current)
+            return entropy(current_tuple) - entropy(current_tuple + (index,))
+
+        return greedy_select(database, budget, benefit, adaptive=True)
+
+    def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        indices = self.select_indices(database, budget)
+        objective = expected_entropy(database, self.function, indices)
+        return CleaningPlan.from_indices(
+            database, indices, objective_value=objective, algorithm=self.name
+        )

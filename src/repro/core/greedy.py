@@ -1,0 +1,444 @@
+"""Greedy selection algorithms (Algorithm 1 and its instantiations).
+
+The paper's Algorithm 1 is a template parameterized by a benefit-estimation
+function ``beta``: repeatedly clean the feasible object with the best
+benefit-per-cost ratio, then apply a single-item safeguard that guarantees a
+2-approximation for modular objectives.  The instantiations evaluated in
+Section 4 are all provided here:
+
+* :class:`RandomSelector` — uniform random order (baseline).
+* :class:`GreedyNaiveCostBlind` — clean by decreasing marginal variance,
+  ignoring costs.
+* :class:`GreedyNaive` — clean by decreasing ``Var[X_i] / c_i`` (objective-
+  blind).
+* :class:`GreedyMinVar` — benefit is the actual reduction in expected
+  variance ``EV(T) - EV(T ∪ {i})`` (objective-aware, adaptive).
+* :class:`GreedyMaxPr` — benefit is the increase in the surprise probability.
+* :class:`GreedyDep` — like GreedyMinVar but aware of a correlated
+  (multivariate normal) error model (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction
+from repro.core.expected_variance import DecomposedEVCalculator, make_ev_calculator
+from repro.core.problems import CleaningPlan
+from repro.core.surprise import make_surprise_calculator
+from repro.uncertainty.correlation import GaussianWorldModel
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "greedy_select",
+    "RandomSelector",
+    "GreedyNaiveCostBlind",
+    "GreedyNaive",
+    "GreedyMinVar",
+    "GreedyMaxPr",
+    "GreedyDep",
+]
+
+BenefitFunction = Callable[[Sequence[int], int], float]
+
+
+def greedy_select(
+    database: UncertainDatabase,
+    budget: float,
+    benefit: BenefitFunction,
+    adaptive: bool = True,
+    stop_when_no_gain: bool = False,
+    use_cost_ratio: bool = True,
+    apply_safeguard: bool = True,
+    lazy: bool = False,
+) -> List[int]:
+    """The Algorithm-1 greedy template.
+
+    Parameters
+    ----------
+    benefit:
+        ``benefit(T, i)`` estimates the benefit of cleaning object ``i`` given
+        the objects ``T`` already chosen.  Non-adaptive strategies simply
+        ignore ``T``.
+    adaptive:
+        When False, benefits are computed once against the empty set and the
+        objects are processed in a single sorted pass (the GreedyNaive /
+        modular fast path).
+    stop_when_no_gain:
+        Stop as soon as the best available benefit is not positive.  Used by
+        GreedyMaxPr, where cleaning more objects can reduce the objective
+        (Figure 12's plateau).
+    use_cost_ratio:
+        Rank candidates by ``benefit / cost``; when False rank by raw benefit
+        (the cost-blind baseline).
+    apply_safeguard:
+        Apply the final single-item check (lines 5--8 of Algorithm 1).
+    lazy:
+        Use lazy (CELF-style) re-evaluation of marginal benefits.  Correct
+        only when the marginal benefit of every object is non-increasing in
+        the selected set (the submodular setting of Lemma 3.5); it avoids
+        re-evaluating benefits that cannot win the current round.
+    """
+    n = len(database)
+    costs = database.costs
+    selected: List[int] = []
+    selected_set: Set[int] = set()
+    spent = 0.0
+
+    def score(index: int, current: Sequence[int]) -> float:
+        b = benefit(current, index)
+        if not use_cost_ratio:
+            return b
+        return b / costs[index]
+
+    if adaptive and lazy:
+        import heapq
+
+        # Heap of (-score, index, generation): an entry is stale when its
+        # generation predates the current selection size; stale winners are
+        # re-scored and pushed back, fresh winners are taken.  Valid when
+        # marginal benefits only shrink as the selection grows (submodularity).
+        heap = []
+        for i in range(n):
+            if costs[i] <= budget + 1e-9:
+                heapq.heappush(heap, (-score(i, selected), i, 0))
+        while heap:
+            negative_score, index, generation = heapq.heappop(heap)
+            if index in selected_set or spent + costs[index] > budget + 1e-9:
+                continue
+            if generation != len(selected):
+                heapq.heappush(heap, (-score(index, selected), index, len(selected)))
+                continue
+            if stop_when_no_gain and -negative_score <= 1e-15:
+                break
+            selected.append(index)
+            selected_set.add(index)
+            spent += costs[index]
+    elif adaptive:
+        while True:
+            candidates = [
+                i for i in range(n) if i not in selected_set and spent + costs[i] <= budget + 1e-9
+            ]
+            if not candidates:
+                break
+            best = max(candidates, key=lambda i: score(i, selected))
+            if stop_when_no_gain and benefit(selected, best) <= 1e-15:
+                break
+            selected.append(best)
+            selected_set.add(best)
+            spent += costs[best]
+    else:
+        static_benefits = np.array([benefit((), i) for i in range(n)], dtype=float)
+        keys = static_benefits / costs if use_cost_ratio else static_benefits
+        order = sorted(range(n), key=lambda i: (-keys[i], costs[i]))
+        for i in order:
+            if static_benefits[i] <= 0 and stop_when_no_gain:
+                break
+            if spent + costs[i] <= budget + 1e-9:
+                selected.append(i)
+                selected_set.add(i)
+                spent += costs[i]
+
+    if apply_safeguard:
+        remaining = [i for i in range(n) if i not in selected_set and costs[i] <= budget + 1e-9]
+        if remaining:
+            # Benefits for the safeguard are standalone (with respect to the
+            # empty set), matching the knapsack 2-approximation argument.
+            standalone = {i: benefit((), i) for i in remaining}
+            best_single = max(remaining, key=lambda i: standalone[i])
+            chosen_total = sum(benefit((), i) for i in selected)
+            if standalone[best_single] > chosen_total:
+                return [best_single]
+    return selected
+
+
+class _SelectionAlgorithm:
+    """Shared plumbing: turn an ordered index list into a CleaningPlan."""
+
+    name = "selection"
+
+    def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        indices = self.select_indices(database, budget)
+        return CleaningPlan.from_indices(database, indices, algorithm=self.name)
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        raise NotImplementedError
+
+
+class RandomSelector(_SelectionAlgorithm):
+    """Clean objects in uniformly random order until the budget is exhausted."""
+
+    name = "Random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        n = len(database)
+        costs = database.costs
+        order = list(self.rng.permutation(n))
+        selected: List[int] = []
+        spent = 0.0
+        for i in order:
+            if spent + costs[i] <= budget + 1e-9:
+                selected.append(int(i))
+                spent += costs[i]
+        return selected
+
+
+class GreedyNaiveCostBlind(_SelectionAlgorithm):
+    """Clean objects in decreasing order of their variance, ignoring costs."""
+
+    name = "GreedyNaiveCostBlind"
+
+    def __init__(self, function: Optional[ClaimFunction] = None):
+        self.function = function
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        variances = database.variances
+        referenced = (
+            self.function.referenced_indices if self.function is not None else None
+        )
+
+        def benefit(_current: Sequence[int], index: int) -> float:
+            if referenced is not None and index not in referenced:
+                return 0.0
+            return float(variances[index])
+
+        return greedy_select(
+            database,
+            budget,
+            benefit,
+            adaptive=False,
+            use_cost_ratio=False,
+            apply_safeguard=False,
+        )
+
+
+class GreedyNaive(_SelectionAlgorithm):
+    """Clean objects in decreasing order of variance per unit cost.
+
+    The benefit estimate is just ``Var[X_i]`` (0 for objects the query
+    function never reads); it ignores the actual optimization objective, which
+    is exactly the shortcoming Section 3.1 and the experiments highlight.
+    """
+
+    name = "GreedyNaive"
+
+    def __init__(self, function: Optional[ClaimFunction] = None):
+        self.function = function
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        variances = database.variances
+        referenced = (
+            self.function.referenced_indices if self.function is not None else None
+        )
+
+        def benefit(_current: Sequence[int], index: int) -> float:
+            if referenced is not None and index not in referenced:
+                return 0.0
+            return float(variances[index])
+
+        return greedy_select(
+            database, budget, benefit, adaptive=False, apply_safeguard=False
+        )
+
+
+class GreedyMinVar(_SelectionAlgorithm):
+    """Objective-aware greedy for MinVar.
+
+    The benefit of cleaning object ``i`` given the already-selected set ``T``
+    is the actual reduction in expected variance, ``EV(T) - EV(T ∪ {i})``.
+    For claim-quality measures on discrete databases the Theorem 3.8
+    decomposition (with memoization) makes each evaluation cheap; for linear
+    claims the closed form is used and the algorithm degenerates to the
+    modular greedy of Section 3.2.
+    """
+
+    name = "GreedyMinVar"
+
+    def __init__(self, function: ClaimFunction, calculator: Optional[DecomposedEVCalculator] = None):
+        self.function = function
+        self.calculator = calculator
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        if self.function.is_linear():
+            weights = self.function.weights(len(database))
+            variances = database.variances
+            contributions = (weights**2) * variances
+
+            def benefit(_current: Sequence[int], index: int) -> float:
+                return float(contributions[index])
+
+            return greedy_select(database, budget, benefit, adaptive=False)
+
+        try:
+            # A caller-supplied calculator lets repeated selections (budget
+            # sweeps) share the memoized per-term computations.
+            calculator = self.calculator or DecomposedEVCalculator(database, self.function)
+        except TypeError:
+            ev = make_ev_calculator(database, self.function)
+
+            def benefit(current: Sequence[int], index: int) -> float:
+                current_set = list(current)
+                return ev(current_set) - ev(current_set + [index])
+
+            return greedy_select(database, budget, benefit, adaptive=True)
+
+        return self._select_decomposed(database, budget, calculator)
+
+    def _select_decomposed(
+        self, database: UncertainDatabase, budget: float, calculator: DecomposedEVCalculator
+    ) -> List[int]:
+        """Exact greedy over a decomposed EV with neighbour-only gain updates.
+
+        Adding an object to the cleaned set can only change the marginal gain
+        of objects that share a perturbation term (or an interacting term
+        pair) with it, so after each selection only those neighbours are
+        re-scored.  Note that EV's submodularity (Lemma 3.5) means gains grow
+        as the selection does, so CELF-style lazy evaluation with stale upper
+        bounds would *not* be exact here — this invalidation scheme is.
+        """
+        n = len(database)
+        costs = database.costs
+
+        # Object -> objects co-referenced with it in some term or term pair.
+        neighbours: List[Set[int]] = [set() for _ in range(n)]
+        for term in calculator.terms:
+            members = list(term.referenced_indices)
+            for i in members:
+                neighbours[i].update(members)
+        for k, l in calculator.interacting_pairs:
+            members = list(
+                calculator.terms[k].referenced_indices | calculator.terms[l].referenced_indices
+            )
+            for i in members:
+                neighbours[i].update(members)
+
+        gains = np.array([calculator.marginal_gain([], i) for i in range(n)], dtype=float)
+        selected: List[int] = []
+        selected_set: Set[int] = set()
+        spent = 0.0
+        while True:
+            candidates = [
+                i for i in range(n) if i not in selected_set and spent + costs[i] <= budget + 1e-9
+            ]
+            if not candidates:
+                break
+            best = max(candidates, key=lambda i: gains[i] / costs[i])
+            selected.append(best)
+            selected_set.add(best)
+            spent += costs[best]
+            for i in neighbours[best]:
+                if i not in selected_set:
+                    gains[i] = calculator.marginal_gain(selected, i)
+
+        # Single-item safeguard (lines 5-8 of Algorithm 1), using standalone gains.
+        remaining = [i for i in range(n) if i not in selected_set and costs[i] <= budget + 1e-9]
+        if remaining:
+            standalone = {i: calculator.marginal_gain([], i) for i in remaining}
+            best_single = max(remaining, key=lambda i: standalone[i])
+            chosen_total = sum(calculator.marginal_gain([], i) for i in selected)
+            if standalone[best_single] > chosen_total:
+                return [best_single]
+        return selected
+
+
+class GreedyMaxPr(_SelectionAlgorithm):
+    """Objective-aware greedy for MaxPr.
+
+    The benefit of cleaning object ``i`` given ``T`` is the increase in the
+    probability of finding a counterargument.  Selection stops early when no
+    candidate increases the probability (cleaning more would only hurt, the
+    behaviour Figure 12 documents).
+    """
+
+    name = "GreedyMaxPr"
+
+    def __init__(
+        self,
+        function: ClaimFunction,
+        tau: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        monte_carlo_samples: int = 4000,
+        method: str = "auto",
+    ):
+        self.function = function
+        self.tau = tau
+        self.rng = rng
+        self.monte_carlo_samples = monte_carlo_samples
+        self.method = method
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        probability = make_surprise_calculator(
+            database,
+            self.function,
+            tau=self.tau,
+            rng=self.rng,
+            monte_carlo_samples=self.monte_carlo_samples,
+            method=self.method,
+        )
+        cache = {}
+
+        def pr(indices: Tuple[int, ...]) -> float:
+            key = frozenset(indices)
+            if key not in cache:
+                cache[key] = probability(list(key))
+            return cache[key]
+
+        def benefit(current: Sequence[int], index: int) -> float:
+            current_tuple = tuple(current)
+            return pr(current_tuple + (index,)) - pr(current_tuple)
+
+        return greedy_select(
+            database, budget, benefit, adaptive=True, stop_when_no_gain=True
+        )
+
+
+class GreedyDep(_SelectionAlgorithm):
+    """Dependency-aware greedy for MinVar with a linear query function.
+
+    Uses a :class:`GaussianWorldModel` (means + full covariance matrix) to
+    compute the post-cleaning variance of the linear query function, so the
+    benefit estimates account for correlations between object errors
+    (Section 4.5).
+
+    ``conditional`` selects how "variance after cleaning" is computed: the
+    Schur-complement conditional variance of the multivariate normal
+    (statistically exact) or the marginal variance of the objects left
+    unclean (the formulation the paper's Theorem 3.9 derivation uses).
+    """
+
+    name = "GreedyDep"
+
+    def __init__(self, function: ClaimFunction, model: GaussianWorldModel, conditional: bool = True):
+        if not function.is_linear():
+            raise TypeError("GreedyDep requires a linear query function")
+        self.function = function
+        self.model = model
+        self.conditional = conditional
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        weights = self.function.weights(len(database))
+        n = len(database)
+        cache = {}
+
+        def variance_after(indices: Tuple[int, ...]) -> float:
+            key = frozenset(indices)
+            if key not in cache:
+                if self.conditional:
+                    cache[key] = self.model.post_cleaning_variance(weights, list(key))
+                else:
+                    remaining = [i for i in range(n) if i not in key]
+                    w = weights[remaining]
+                    sub = self.model.covariance[np.ix_(remaining, remaining)]
+                    cache[key] = float(w @ sub @ w)
+            return cache[key]
+
+        def benefit(current: Sequence[int], index: int) -> float:
+            current_tuple = tuple(current)
+            return variance_after(current_tuple) - variance_after(current_tuple + (index,))
+
+        return greedy_select(database, budget, benefit, adaptive=True)

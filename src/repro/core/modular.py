@@ -1,0 +1,134 @@
+"""Optimal solvers for modularizable objectives (Section 3.2).
+
+Lemma 3.1: with pairwise-uncorrelated errors and an affine query function
+``f(X) = b + a . X``, the MinVar objective is modular with per-object weight
+``w_i = a_i^2 Var[X_i]``; with independent normal errors centered at the
+current values, the MaxPr objective is modular with ``w_i = a_i^2 sigma_i^2``.
+Both problems then reduce to 0/1 knapsack, for which exact pseudo-polynomial
+dynamic programming and an FPTAS are available (Lemmas 3.2 and 3.3).
+
+These are the "Optimum" curves of Figures 1, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction
+from repro.core.expected_variance import linear_expected_variance
+from repro.core.knapsack import (
+    KnapsackSolution,
+    solve_knapsack_dp,
+    solve_knapsack_fptas,
+    solve_knapsack_greedy,
+)
+from repro.core.problems import CleaningPlan
+from repro.core.surprise import surprise_probability_normal_linear
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "modular_minvar_weights",
+    "modular_maxpr_weights",
+    "OptimumModularMinVar",
+    "OptimumModularMaxPr",
+]
+
+
+def modular_minvar_weights(database: UncertainDatabase, function: ClaimFunction) -> np.ndarray:
+    """Per-object benefit ``w_i = a_i^2 Var[X_i]`` for an affine query function."""
+    if not function.is_linear():
+        raise TypeError("modular MinVar weights require a linear query function")
+    weights = function.weights(len(database))
+    return (weights**2) * database.variances
+
+
+def modular_maxpr_weights(database: UncertainDatabase, function: ClaimFunction) -> np.ndarray:
+    """Per-object benefit ``w_i = a_i^2 sigma_i^2`` for affine + normal errors."""
+    if not function.is_linear():
+        raise TypeError("modular MaxPr weights require a linear query function")
+    weights = function.weights(len(database))
+    return (weights**2) * database.variances
+
+
+class OptimumModularMinVar:
+    """Exact MinVar solver for affine query functions with uncorrelated errors.
+
+    Maximizing the variance removed, ``sum_{i in T} a_i^2 Var[X_i]``, subject
+    to the cost budget is a maximum knapsack; the pseudo-polynomial DP gives
+    the exact optimum (the paper's "Optimum" baseline).  ``method`` selects
+    the knapsack solver: ``"dp"`` (exact), ``"fptas"`` or ``"greedy"``.
+    """
+
+    name = "Optimum"
+
+    def __init__(self, function: ClaimFunction, method: str = "dp", epsilon: float = 0.05):
+        self.function = function
+        if method not in {"dp", "fptas", "greedy"}:
+            raise ValueError("method must be one of 'dp', 'fptas', 'greedy'")
+        self.method = method
+        self.epsilon = epsilon
+
+    def _solve(self, values: np.ndarray, costs: np.ndarray, budget: float) -> KnapsackSolution:
+        if self.method == "dp":
+            return solve_knapsack_dp(values, costs, budget)
+        if self.method == "fptas":
+            return solve_knapsack_fptas(values, costs, budget, epsilon=self.epsilon)
+        return solve_knapsack_greedy(values, costs, budget)
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        values = modular_minvar_weights(database, self.function)
+        solution = self._solve(values, database.costs, budget)
+        return list(solution.selected)
+
+    def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        indices = self.select_indices(database, budget)
+        weights = self.function.weights(len(database))
+        remaining = linear_expected_variance(database, weights, indices)
+        return CleaningPlan.from_indices(
+            database, indices, objective_value=remaining, algorithm=self.name
+        )
+
+
+class OptimumModularMaxPr:
+    """Exact MaxPr solver for affine query functions with normal errors.
+
+    With errors centered at the current values, maximizing the surprise
+    probability is equivalent to maximizing ``sum_{i in T} a_i^2 sigma_i^2``
+    (Lemma 3.3), again a maximum knapsack.
+    """
+
+    name = "OptimumMaxPr"
+
+    def __init__(self, function: ClaimFunction, tau: float = 0.0, method: str = "dp", epsilon: float = 0.05):
+        self.function = function
+        self.tau = tau
+        if method not in {"dp", "fptas", "greedy"}:
+            raise ValueError("method must be one of 'dp', 'fptas', 'greedy'")
+        self.method = method
+        self.epsilon = epsilon
+
+    def _solve(self, values: np.ndarray, costs: np.ndarray, budget: float) -> KnapsackSolution:
+        if self.method == "dp":
+            return solve_knapsack_dp(values, costs, budget)
+        if self.method == "fptas":
+            return solve_knapsack_fptas(values, costs, budget, epsilon=self.epsilon)
+        return solve_knapsack_greedy(values, costs, budget)
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        values = modular_maxpr_weights(database, self.function)
+        solution = self._solve(values, database.costs, budget)
+        return list(solution.selected)
+
+    def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        indices = self.select_indices(database, budget)
+        objective = None
+        if database.all_normal():
+            weights = self.function.weights(len(database))
+            objective = surprise_probability_normal_linear(
+                database, weights, indices, tau=self.tau
+            )
+        return CleaningPlan.from_indices(
+            database, indices, objective_value=objective, algorithm=self.name
+        )

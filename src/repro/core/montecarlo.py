@@ -1,0 +1,50 @@
+"""Shared Monte-Carlo helpers.
+
+A thin wrapper around a seeded :class:`numpy.random.Generator` that the
+experiment harness, the sampling-based objective estimators and the
+"effectiveness in action" scenarios all share, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = ["WorldSampler"]
+
+
+class WorldSampler:
+    """Reproducible sampling of possible worlds and ground truths."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Restart the stream from the original seed."""
+        self.rng = np.random.default_rng(self.seed)
+
+    def ground_truth(self, database: UncertainDatabase) -> np.ndarray:
+        """Draw one hidden true-value vector (a possible world)."""
+        return database.sample_world(self.rng)
+
+    def reveal(self, database: UncertainDatabase, truth: Sequence[float], indices: Sequence[int]) -> Dict[int, float]:
+        """Cleaning outcome: the hidden true values of the selected objects."""
+        truth = np.asarray(truth, dtype=float)
+        return {int(i): float(truth[int(i)]) for i in indices}
+
+    def estimate_distribution(
+        self,
+        database: UncertainDatabase,
+        function: ClaimFunction,
+        samples: int = 2000,
+    ) -> np.ndarray:
+        """Sample the query-function value over worlds of the given database."""
+        draws = np.empty(samples, dtype=float)
+        for s in range(samples):
+            draws[s] = function.evaluate(database.sample_world(self.rng))
+        return draws

@@ -1,0 +1,259 @@
+"""The MaxPr ("maximize surprise") objective.
+
+``MaxPr(T) = Pr[ f(X) < f(u) - tau | X_{O \\ T} = u_{O \\ T} ]``
+
+Cleaning the objects in ``T`` replaces their current values with fresh draws
+from their distributions while every other object keeps its current value; the
+objective is the probability that the query-function result drops by more than
+``tau`` (a counterargument is found).  By convention the empty set has
+objective value zero.
+
+Strategies:
+
+* :func:`surprise_probability_exact` — enumerate the joint support of ``T``
+  (discrete distributions, independent errors).
+* :func:`surprise_probability_monte_carlo` — sampling estimator, any
+  distributions.
+* :func:`surprise_probability_normal_linear` — closed form for affine query
+  functions with independent normal errors (Lemma 3.3):
+  ``Phi((-tau - shift) / sqrt(sum_{i in T} a_i^2 sigma_i^2))`` where ``shift``
+  accounts for error models not centered at the current values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.claims.functions import ClaimFunction
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import NormalSpec
+
+__all__ = [
+    "surprise_probability_exact",
+    "surprise_probability_monte_carlo",
+    "surprise_probability_normal_linear",
+    "surprise_probability_discrete_linear",
+    "make_surprise_calculator",
+]
+
+
+def surprise_probability_exact(
+    database: UncertainDatabase,
+    function: ClaimFunction,
+    cleaned: Iterable[int],
+    tau: float = 0.0,
+    baseline: Optional[float] = None,
+) -> float:
+    """Exact MaxPr objective by enumerating the cleaning outcomes of ``T``.
+
+    Only the cleaned objects are random; everything else stays at its current
+    value, so the enumeration is over ``V_T`` alone (restricted further to the
+    objects the query function references).
+    """
+    cleaned_set = sorted(set(int(i) for i in cleaned))
+    if not cleaned_set:
+        return 0.0
+    current = database.current_values
+    target = (function.evaluate(current) if baseline is None else baseline) - tau
+
+    relevant = [i for i in cleaned_set if i in function.referenced_indices]
+    irrelevant_probability = 1.0  # cleaned objects the function ignores cannot change f
+    if not relevant:
+        return 0.0
+
+    probability = 0.0
+    for assignment, p in database.enumerate_joint_support(relevant):
+        values = database.values_with_assignment(assignment)
+        if function.evaluate(values) < target - 1e-12:
+            probability += p
+    return float(probability * irrelevant_probability)
+
+
+def surprise_probability_monte_carlo(
+    database: UncertainDatabase,
+    function: ClaimFunction,
+    cleaned: Iterable[int],
+    rng: np.random.Generator,
+    tau: float = 0.0,
+    samples: int = 2000,
+    baseline: Optional[float] = None,
+) -> float:
+    """Monte-Carlo estimate of the MaxPr objective."""
+    cleaned_set = sorted(set(int(i) for i in cleaned))
+    if not cleaned_set:
+        return 0.0
+    current = database.current_values
+    target = (function.evaluate(current) if baseline is None else baseline) - tau
+
+    hits = 0
+    for _ in range(samples):
+        values = np.array(current, copy=True)
+        for index in cleaned_set:
+            values[index] = database[index].sample(rng)
+        if function.evaluate(values) < target - 1e-12:
+            hits += 1
+    return hits / samples
+
+
+def surprise_probability_normal_linear(
+    database: UncertainDatabase,
+    weights: Sequence[float],
+    cleaned: Iterable[int],
+    tau: float = 0.0,
+) -> float:
+    """Closed-form MaxPr objective for an affine ``f`` with independent normal errors.
+
+    With ``X_i ~ N(mu_i, sigma_i^2)`` independent and only the cleaned objects
+    re-drawn, ``f(X') - f(u)`` is normal with mean
+    ``sum_{i in T} w_i (mu_i - u_i)`` and variance
+    ``sum_{i in T} w_i^2 sigma_i^2``, so the objective is a single normal CDF
+    evaluation.  When the errors are centered at the current values the mean
+    shift vanishes and maximizing the objective is equivalent to maximizing
+    ``sum_{i in T} w_i^2 sigma_i^2`` (Lemma 3.3).
+    """
+    cleaned_set = sorted(set(int(i) for i in cleaned))
+    if not cleaned_set:
+        return 0.0
+    weights = np.asarray(weights, dtype=float)
+
+    mean_shift = 0.0
+    variance = 0.0
+    for index in cleaned_set:
+        obj = database[index]
+        if not isinstance(obj.distribution, NormalSpec):
+            raise TypeError(
+                f"object {obj.name!r} does not have a normal error model; "
+                "use the exact or Monte-Carlo objective instead"
+            )
+        w = weights[index]
+        mean_shift += w * (obj.distribution.mean - obj.current_value)
+        variance += (w**2) * obj.distribution.variance
+
+    if variance <= 0.0:
+        return 1.0 if mean_shift < -tau else 0.0
+    return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
+
+
+def surprise_probability_discrete_linear(
+    database: UncertainDatabase,
+    weights: Sequence[float],
+    cleaned: Iterable[int],
+    tau: float = 0.0,
+    max_exact_outcomes: int = 200_000,
+) -> float:
+    """MaxPr objective for a linear ``f`` over independent discrete errors.
+
+    Only the cleaned objects are re-drawn, so
+    ``f(X') - f(u) = sum_{i in T} w_i (X_i - u_i)`` — a weighted sum of
+    independent discrete variables.  Its distribution is computed exactly by
+    sequential convolution (merging equal sums) as long as the number of
+    outcomes stays below ``max_exact_outcomes``; beyond that the sum of many
+    independent bounded terms is well approximated by a normal and the
+    objective falls back to the central-limit closed form (the same shape as
+    Lemma 3.3).
+    """
+    cleaned_set = sorted(set(int(i) for i in cleaned))
+    if not cleaned_set:
+        return 0.0
+    weights = np.asarray(weights, dtype=float)
+
+    relevant = []
+    outcome_count = 1
+    for index in cleaned_set:
+        obj = database[index]
+        distribution = obj.distribution
+        if isinstance(distribution, NormalSpec):
+            raise TypeError(
+                f"object {obj.name!r} has a normal error model; use the normal "
+                "closed form or the Monte-Carlo objective instead"
+            )
+        weight = float(weights[index])
+        if weight == 0.0:
+            continue
+        relevant.append((obj, distribution, weight))
+        outcome_count *= distribution.support_size
+
+    if not relevant:
+        return 0.0
+
+    if outcome_count > max_exact_outcomes:
+        # Central-limit fallback: many independent bounded contributions.
+        mean_shift = sum(w * (d.mean - o.current_value) for o, d, w in relevant)
+        variance = sum((w**2) * d.variance for o, d, w in relevant)
+        if variance <= 0.0:
+            return 1.0 if mean_shift < -tau else 0.0
+        return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
+
+    pmf = {0.0: 1.0}
+    for obj, distribution, weight in relevant:
+        next_pmf = {}
+        for partial, p in pmf.items():
+            for value, q in zip(distribution.values, distribution.probabilities):
+                key = partial + weight * (float(value) - obj.current_value)
+                next_pmf[key] = next_pmf.get(key, 0.0) + p * q
+        pmf = next_pmf
+        if len(pmf) > max_exact_outcomes:
+            # The merged support still blew up (irregular values); restart with
+            # the central-limit fallback rather than grinding on.
+            mean_shift = sum(w * (d.mean - o.current_value) for o, d, w in relevant)
+            variance = sum((w**2) * d.variance for o, d, w in relevant)
+            if variance <= 0.0:
+                return 1.0 if mean_shift < -tau else 0.0
+            return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
+
+    return float(sum(p for drop, p in pmf.items() if drop < -tau - 1e-12))
+
+
+def make_surprise_calculator(
+    database: UncertainDatabase,
+    function: ClaimFunction,
+    tau: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    monte_carlo_samples: int = 4000,
+    method: str = "auto",
+):
+    """Return a callable ``pr(cleaned) -> float`` choosing the best strategy.
+
+    ``method`` is one of ``"auto"``, ``"normal"``, ``"convolution"``,
+    ``"exact"``, ``"monte_carlo"``.  The automatic preference order is:
+    closed form (linear + all-normal database), convolution (linear +
+    all-discrete), exact enumeration (all-discrete), Monte-Carlo fallback.
+    """
+    valid = {"auto", "normal", "convolution", "exact", "monte_carlo"}
+    if method not in valid:
+        raise ValueError(f"method must be one of {sorted(valid)}")
+
+    if method in {"auto", "normal"} and function.is_linear() and database.all_normal():
+        weights = function.weights(len(database))
+
+        def normal_pr(cleaned: Iterable[int]) -> float:
+            return surprise_probability_normal_linear(database, weights, cleaned, tau=tau)
+
+        return normal_pr
+
+    if method in {"auto", "convolution"} and function.is_linear() and database.all_discrete():
+        weights = function.weights(len(database))
+
+        def convolution_pr(cleaned: Iterable[int]) -> float:
+            return surprise_probability_discrete_linear(database, weights, cleaned, tau=tau)
+
+        return convolution_pr
+
+    if method in {"auto", "exact"} and database.all_discrete():
+
+        def exact_pr(cleaned: Iterable[int]) -> float:
+            return surprise_probability_exact(database, function, cleaned, tau=tau)
+
+        return exact_pr
+
+    sampler_rng = rng if rng is not None else np.random.default_rng(0)
+
+    def monte_carlo_pr(cleaned: Iterable[int]) -> float:
+        return surprise_probability_monte_carlo(
+            database, function, cleaned, sampler_rng, tau=tau, samples=monte_carlo_samples
+        )
+
+    return monte_carlo_pr

@@ -1,0 +1,41 @@
+"""Datasets used by the paper's evaluation (reconstructions; see DESIGN.md §5)."""
+
+from repro.datasets.adoptions import ADOPTIONS_YEARS, ADOPTIONS_COUNTS, load_adoptions
+from repro.datasets.cdc import (
+    CDC_YEARS,
+    CDC_FIREARM_ESTIMATES,
+    CDC_CAUSE_ESTIMATES,
+    load_cdc_firearms,
+    load_cdc_causes,
+)
+from repro.datasets.synthetic import (
+    generate_urx,
+    generate_lnx,
+    generate_smx,
+    SYNTHETIC_GENERATORS,
+)
+from repro.datasets.costs import (
+    uniform_costs,
+    recency_decaying_costs,
+    unit_costs,
+    extreme_costs,
+)
+
+__all__ = [
+    "ADOPTIONS_YEARS",
+    "ADOPTIONS_COUNTS",
+    "load_adoptions",
+    "CDC_YEARS",
+    "CDC_FIREARM_ESTIMATES",
+    "CDC_CAUSE_ESTIMATES",
+    "load_cdc_firearms",
+    "load_cdc_causes",
+    "generate_urx",
+    "generate_lnx",
+    "generate_smx",
+    "SYNTHETIC_GENERATORS",
+    "uniform_costs",
+    "recency_decaying_costs",
+    "unit_costs",
+    "extreme_costs",
+]

@@ -1,0 +1,79 @@
+"""Cleaning-cost generators shared by the dataset builders.
+
+The paper uses three cost models: uniform random costs (Adoptions and the
+synthetic datasets), recency-decaying costs (the CDC datasets, where older
+historical data is more expensive to re-acquire), and unit costs (some of the
+theoretical variants).  All generators take an explicit random generator so
+datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["uniform_costs", "recency_decaying_costs", "unit_costs", "extreme_costs"]
+
+
+def uniform_costs(
+    n: int, low: float, high: float, rng: np.random.Generator
+) -> List[float]:
+    """Costs drawn uniformly at random from ``[low, high]``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    return [float(c) for c in rng.uniform(low, high, size=n)]
+
+
+def recency_decaying_costs(
+    n: int,
+    oldest_band: tuple = (195.0, 200.0),
+    band_width: float = 5.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[float]:
+    """Costs that decrease with recency (the CDC cost model of Section 4).
+
+    Object 0 is the oldest year and gets a cost in ``oldest_band``
+    (195--200 by default); each subsequent year's band shifts down by
+    ``band_width`` (190--195 for the next year, and so on), never dropping
+    below ``(band_width, 2 * band_width)``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    low0, high0 = oldest_band
+    if not 0 < low0 < high0:
+        raise ValueError("oldest_band must satisfy 0 < low < high")
+    costs = []
+    for i in range(n):
+        low = max(low0 - band_width * i, band_width)
+        high = max(high0 - band_width * i, 2.0 * band_width)
+        costs.append(float(rng.uniform(low, high)))
+    return costs
+
+
+def unit_costs(n: int) -> List[float]:
+    """Every object costs 1 (the setting of the bi-criteria variant)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0] * n
+
+
+def extreme_costs(
+    n: int, low: float, high: float, rng: np.random.Generator, p_high: float = 0.5
+) -> List[float]:
+    """Bimodal costs: each object costs either ``low`` or ``high``.
+
+    The paper mentions this as an alternative synthetic cost model that led to
+    the same conclusions.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    if not 0.0 <= p_high <= 1.0:
+        raise ValueError("p_high must be in [0, 1]")
+    choices = rng.random(n) < p_high
+    return [float(high if c else low) for c in choices]

@@ -1,0 +1,147 @@
+"""Synthetic datasets URx, LNx and SMx (Section 4).
+
+Each object gets a discrete distribution whose support size is drawn
+uniformly from {1, ..., 6}; the three generators differ in how support values
+and probabilities are chosen:
+
+* **URx** — "fairly random": support values uniform without replacement from
+  [1, 100], probabilities proportional to U(0, 1] draws.
+* **LNx** — skewed unimodal: a log-normal with ``mu = 0`` and
+  ``sigma ~ U(0, 1]`` is quantilized into equal-probability intervals; support
+  points sit near the right ends of the intervals and probabilities are
+  proportional to the log-normal density there.
+* **SMx** — multimodal: support values as URx, probabilities proportional to
+  draws that are either very low (0, 0.1] or very high [0.9, 1).
+
+Cleaning costs are uniform in [1, 10] (the paper's default synthetic cost
+model); current values are drawn from each object's distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.datasets.costs import uniform_costs
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["generate_urx", "generate_lnx", "generate_smx", "SYNTHETIC_GENERATORS"]
+
+
+def _support_size(rng: np.random.Generator, max_support: int = 6) -> int:
+    return int(rng.integers(1, max_support + 1))
+
+
+def _urx_distribution(rng: np.random.Generator, max_support: int) -> DiscreteDistribution:
+    size = _support_size(rng, max_support)
+    values = rng.choice(np.arange(1, 101), size=size, replace=False).astype(float)
+    probabilities = rng.uniform(1e-6, 1.0, size=size)
+    return DiscreteDistribution(values, probabilities)
+
+
+def _lnx_distribution(rng: np.random.Generator, max_support: int) -> DiscreteDistribution:
+    size = _support_size(rng, max_support)
+    sigma = float(rng.uniform(1e-3, 1.0))
+    # Quantilize into `size` equal-probability intervals and take points near
+    # the right end of each interval (the paper's construction).
+    quantiles = (np.arange(1, size + 1) - 0.05) / size
+    quantiles = np.clip(quantiles, 1e-6, 1 - 1e-9)
+    values = np.exp(sigma * _normal_ppf(quantiles))
+    density = _lognormal_pdf(values, sigma)
+    return DiscreteDistribution(values, density + 1e-12)
+
+
+def _smx_distribution(rng: np.random.Generator, max_support: int) -> DiscreteDistribution:
+    size = _support_size(rng, max_support)
+    values = rng.choice(np.arange(1, 101), size=size, replace=False).astype(float)
+    low_or_high = rng.random(size) < 0.5
+    probabilities = np.where(
+        low_or_high,
+        rng.uniform(1e-3, 0.1, size=size),
+        rng.uniform(0.9, 1.0, size=size),
+    )
+    return DiscreteDistribution(values, probabilities)
+
+
+def _normal_ppf(q: np.ndarray) -> np.ndarray:
+    from scipy import stats
+
+    return stats.norm.ppf(q)
+
+
+def _lognormal_pdf(x: np.ndarray, sigma: float) -> np.ndarray:
+    from scipy import stats
+
+    return stats.lognorm.pdf(x, s=sigma)
+
+
+def _generate(
+    n: int,
+    seed: int,
+    distribution_factory: Callable[[np.random.Generator, int], DiscreteDistribution],
+    prefix: str,
+    max_support: int,
+    cost_low: float,
+    cost_high: float,
+) -> UncertainDatabase:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    costs = uniform_costs(n, cost_low, cost_high, rng)
+    objects: List[UncertainObject] = []
+    for i in range(n):
+        distribution = distribution_factory(rng, max_support)
+        current = float(distribution.sample(rng))
+        objects.append(
+            UncertainObject(
+                name=f"{prefix}_{i:05d}",
+                current_value=current,
+                distribution=distribution,
+                cost=costs[i],
+                label=f"{prefix} synthetic value {i}",
+            )
+        )
+    return UncertainDatabase(objects)
+
+
+def generate_urx(
+    n: int = 40,
+    seed: int = 0,
+    max_support: int = 6,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+) -> UncertainDatabase:
+    """URx synthetic dataset with ``n`` uncertain values."""
+    return _generate(n, seed, _urx_distribution, "urx", max_support, cost_low, cost_high)
+
+
+def generate_lnx(
+    n: int = 40,
+    seed: int = 0,
+    max_support: int = 6,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+) -> UncertainDatabase:
+    """LNx synthetic dataset (skewed, unimodal log-normal-derived values)."""
+    return _generate(n, seed, _lnx_distribution, "lnx", max_support, cost_low, cost_high)
+
+
+def generate_smx(
+    n: int = 40,
+    seed: int = 0,
+    max_support: int = 6,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+) -> UncertainDatabase:
+    """SMx synthetic dataset (multimodal low/high probability weights)."""
+    return _generate(n, seed, _smx_distribution, "smx", max_support, cost_low, cost_high)
+
+
+SYNTHETIC_GENERATORS = {
+    "URx": generate_urx,
+    "LNx": generate_lnx,
+    "SMx": generate_smx,
+}

@@ -1,0 +1,56 @@
+"""Experiment harness: workloads, sweeps, scenario simulations and per-figure entry points."""
+
+from repro.experiments.workloads import (
+    Workload,
+    fairness_window_comparison_workload,
+    cdc_causes_share_workload,
+    uniqueness_workload,
+    robustness_workload,
+)
+from repro.experiments.sweeps import SweepResult, run_budget_sweep, DEFAULT_BUDGET_FRACTIONS
+from repro.experiments.scenarios import (
+    measure_moments,
+    InActionResult,
+    run_in_action_experiment,
+    CounterDiscoveryResult,
+    run_counter_discovery,
+    CompetingObjectivesResult,
+    run_competing_objectives,
+)
+from repro.experiments.efficiency import TimingResult, time_budget_scaling, time_size_scaling
+from repro.experiments.reporting import format_series_table, format_rows
+from repro.experiments.persistence import (
+    write_rows_csv,
+    write_rows_json,
+    write_sweep_csv,
+    read_rows_csv,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "Workload",
+    "fairness_window_comparison_workload",
+    "cdc_causes_share_workload",
+    "uniqueness_workload",
+    "robustness_workload",
+    "SweepResult",
+    "run_budget_sweep",
+    "DEFAULT_BUDGET_FRACTIONS",
+    "measure_moments",
+    "InActionResult",
+    "run_in_action_experiment",
+    "CounterDiscoveryResult",
+    "run_counter_discovery",
+    "CompetingObjectivesResult",
+    "run_competing_objectives",
+    "TimingResult",
+    "time_budget_scaling",
+    "time_size_scaling",
+    "format_series_table",
+    "format_rows",
+    "write_rows_csv",
+    "write_rows_json",
+    "write_sweep_csv",
+    "read_rows_csv",
+    "figures",
+]

@@ -1,0 +1,97 @@
+"""Timing harness for the Section 4.4 efficiency experiments (Figure 10).
+
+The paper times GreedyMinVar on URx-style datasets scaled to 10,000 values
+(with 2,500 non-overlapping perturbations), varying the budget, and then
+scales the dataset from 50k to 1M values at a fixed budget.  We reproduce the
+same sweeps at laptop-friendly sizes (the shape — roughly linear in budget,
+super-linear in n — is what matters); callers can pass larger sizes if they
+have the time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.greedy import GreedyMinVar
+from repro.core.problems import budget_from_fraction
+from repro.datasets.synthetic import generate_urx
+from repro.experiments.workloads import uniqueness_workload
+
+__all__ = ["TimingResult", "time_budget_scaling", "time_size_scaling"]
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock seconds per swept parameter value."""
+
+    parameter_name: str
+    parameter_values: List[float]
+    seconds: List[float]
+    n_objects: int
+
+    def as_rows(self) -> List[dict]:
+        return [
+            {
+                "n_objects": self.n_objects,
+                self.parameter_name: value,
+                "seconds": seconds,
+            }
+            for value, seconds in zip(self.parameter_values, self.seconds)
+        ]
+
+
+def _build_scaled_workload(n: int, gamma: float, seed: int, window_width: int = 4):
+    """URx dataset of size ``n`` with non-overlapping window-sum perturbations."""
+    database = generate_urx(n=n, seed=seed)
+    return uniqueness_workload(database, window_width=window_width, gamma=gamma)
+
+
+def time_budget_scaling(
+    n: int = 2000,
+    budget_fractions: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.3),
+    gamma: float = 100.0,
+    seed: int = 3,
+) -> TimingResult:
+    """Figure 10a: GreedyMinVar running time as the budget grows (fixed n)."""
+    workload = _build_scaled_workload(n, gamma, seed)
+    seconds: List[float] = []
+    fractions = [float(f) for f in budget_fractions]
+    for fraction in fractions:
+        algorithm = GreedyMinVar(workload.query_function)
+        budget = budget_from_fraction(workload.database, fraction)
+        start = time.perf_counter()
+        algorithm.select_indices(workload.database, budget)
+        seconds.append(time.perf_counter() - start)
+    return TimingResult(
+        parameter_name="budget_fraction",
+        parameter_values=fractions,
+        seconds=seconds,
+        n_objects=n,
+    )
+
+
+def time_size_scaling(
+    sizes: Sequence[int] = (500, 1000, 2000, 4000),
+    budget: float = 500.0,
+    gamma: float = 100.0,
+    seed: int = 3,
+) -> TimingResult:
+    """Figure 10b: GreedyMinVar running time as the dataset grows (fixed budget)."""
+    seconds: List[float] = []
+    size_list = [int(s) for s in sizes]
+    for n in size_list:
+        workload = _build_scaled_workload(n, gamma, seed)
+        algorithm = GreedyMinVar(workload.query_function)
+        start = time.perf_counter()
+        algorithm.select_indices(workload.database, budget)
+        seconds.append(time.perf_counter() - start)
+    return TimingResult(
+        parameter_name="n_objects_swept",
+        parameter_values=[float(s) for s in size_list],
+        seconds=seconds,
+        n_objects=size_list[-1],
+    )

@@ -1,0 +1,73 @@
+"""Saving experiment results to disk (CSV / JSON).
+
+The benchmark harness prints series to stdout; for downstream analysis
+(plotting, regression tracking) the same results can be written to files.
+Only the standard library is used — ``csv`` and ``json`` — so persistence adds
+no dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence, Union
+
+from repro.experiments.sweeps import SweepResult
+
+__all__ = ["write_rows_csv", "write_rows_json", "write_sweep_csv", "read_rows_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_rows_csv(rows: Sequence[Mapping], path: PathLike, columns: Sequence[str] = None) -> Path:
+    """Write a list of dict rows to a CSV file; returns the written path.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing keys are written as empty fields.
+    """
+    path = Path(path)
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty row set")
+    fieldnames = list(columns) if columns is not None else list(rows[0])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in fieldnames})
+    return path
+
+
+def write_rows_json(rows: Sequence[Mapping], path: PathLike, indent: int = 2) -> Path:
+    """Write a list of dict rows to a JSON file; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(list(rows), handle, indent=indent, default=float)
+        handle.write("\n")
+    return path
+
+
+def write_sweep_csv(result: SweepResult, path: PathLike) -> Path:
+    """Write a budget sweep (one row per algorithm x budget) to CSV."""
+    return write_rows_csv(
+        result.as_rows(), path, columns=["algorithm", "budget_fraction", "objective"]
+    )
+
+
+def read_rows_csv(path: PathLike) -> List[dict]:
+    """Read back a CSV written by :func:`write_rows_csv`, parsing numbers."""
+    path = Path(path)
+    rows: List[dict] = []
+    with path.open() as handle:
+        for raw in csv.DictReader(handle):
+            row = {}
+            for key, value in raw.items():
+                try:
+                    row[key] = float(value)
+                except (TypeError, ValueError):
+                    row[key] = value
+            rows.append(row)
+    return rows

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment series.
+
+The benchmark harness prints the same rows the paper plots; these helpers
+keep that output readable without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_series_table", "format_rows"]
+
+
+def format_series_table(
+    budget_fractions: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.6g}",
+    title: str = "",
+) -> str:
+    """Render a budget-by-algorithm table as aligned plain text."""
+    algorithms = list(series)
+    header = ["budget"] + algorithms
+    rows: List[List[str]] = []
+    for i, fraction in enumerate(budget_fractions):
+        row = [f"{fraction:.2f}"]
+        for name in algorithms:
+            row.append(value_format.format(series[name][i]))
+        rows.append(row)
+
+    widths = [max(len(header[c]), max((len(r[c]) for r in rows), default=0)) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[dict], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title or "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0])
+    formatted = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(columns[c]), max(len(r[c]) for r in formatted)) for c in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.rjust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,242 @@
+"""Scenario simulations: "effectiveness in action" and competing objectives.
+
+Section 4.3 evaluates the algorithms from the perspective of a working
+fact-checker: a hidden ground-truth world is fixed, each algorithm picks what
+to clean, the true values of the cleaned objects are revealed, and we measure
+how well the fact-checker can now estimate claim quality (mean / standard
+deviation of duplicity) or how quickly a counterargument is actually found.
+Section 4.6 compares how the MinVar-optimal and MaxPr-greedy strategies score
+on *each other's* objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.claims.quality import ClaimQualityMeasure
+from repro.core.expected_variance import DecomposedEVCalculator, measure_mean
+from repro.core.problems import budget_from_fraction
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "measure_moments",
+    "InActionResult",
+    "run_in_action_experiment",
+    "CounterDiscoveryResult",
+    "run_counter_discovery",
+    "CompetingObjectivesResult",
+    "run_competing_objectives",
+]
+
+
+def measure_moments(
+    database: UncertainDatabase, measure: ClaimQualityMeasure
+) -> Tuple[float, float]:
+    """Mean and standard deviation of a claim-quality measure on a database.
+
+    Works on any all-discrete database; cleaned objects are represented by
+    point-mass distributions so the same code handles both the prior and the
+    post-cleaning state.  The mean sums per-term expectations; the variance is
+    the Theorem 3.8 decomposition evaluated with an empty cleaned set.
+    """
+    calculator = DecomposedEVCalculator(database, measure)
+    variance = calculator.expected_variance([])
+    mean = measure_mean(database, measure)
+    return float(mean), float(np.sqrt(max(variance, 0.0)))
+
+
+# --------------------------------------------------------------------------- #
+# Effectiveness in action (Figures 8 and 9)
+# --------------------------------------------------------------------------- #
+@dataclass
+class InActionResult:
+    """Post-cleaning estimates of claim quality for one hidden ground truth."""
+
+    budget_fractions: List[float]
+    means: Dict[str, List[float]]
+    stds: Dict[str, List[float]]
+    true_value: float
+
+    def as_rows(self) -> List[dict]:
+        rows = []
+        for algorithm in self.means:
+            for fraction, mean, std in zip(
+                self.budget_fractions, self.means[algorithm], self.stds[algorithm]
+            ):
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "budget_fraction": fraction,
+                        "estimated_mean": mean,
+                        "estimated_std": std,
+                        "true_value": self.true_value,
+                    }
+                )
+        return rows
+
+
+def run_in_action_experiment(
+    database: UncertainDatabase,
+    measure: ClaimQualityMeasure,
+    algorithms: Mapping[str, object],
+    budget_fractions: Sequence[float],
+    seed: int = 0,
+    ground_truth: Optional[Sequence[float]] = None,
+) -> InActionResult:
+    """Simulate a fact-checker cleaning data and re-estimating claim quality.
+
+    A single ground-truth world is drawn (or supplied); for every budget each
+    algorithm selects objects using only the prior distributions, the true
+    values of the selected objects are revealed, and the mean / standard
+    deviation of the measure under the remaining uncertainty is recorded.
+    """
+    rng = np.random.default_rng(seed)
+    truth = (
+        np.asarray(ground_truth, dtype=float)
+        if ground_truth is not None
+        else database.sample_world(rng)
+    )
+    true_value = float(measure.evaluate(truth))
+
+    fractions = [float(f) for f in budget_fractions]
+    means: Dict[str, List[float]] = {name: [] for name in algorithms}
+    stds: Dict[str, List[float]] = {name: [] for name in algorithms}
+
+    for fraction in fractions:
+        budget = budget_from_fraction(database, fraction)
+        for name, algorithm in algorithms.items():
+            selected = algorithm.select_indices(database, budget)
+            revealed = {int(i): float(truth[int(i)]) for i in selected}
+            cleaned_database = database.cleaned(revealed)
+            mean, std = measure_moments(cleaned_database, measure)
+            means[name].append(mean)
+            stds[name].append(std)
+    return InActionResult(
+        budget_fractions=fractions, means=means, stds=stds, true_value=true_value
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Counterargument discovery (Section 4.3, "Finding counters")
+# --------------------------------------------------------------------------- #
+@dataclass
+class CounterDiscoveryResult:
+    """How much budget each algorithm needed before a counter was revealed."""
+
+    budget_fraction_used: Dict[str, Optional[float]]
+    values_cleaned: Dict[str, Optional[int]]
+    counter_exists_in_truth: bool
+
+    def as_rows(self) -> List[dict]:
+        return [
+            {
+                "algorithm": name,
+                "budget_fraction_used": self.budget_fraction_used[name],
+                "values_cleaned": self.values_cleaned[name],
+                "counter_exists_in_truth": self.counter_exists_in_truth,
+            }
+            for name in self.budget_fraction_used
+        ]
+
+
+def run_counter_discovery(
+    database: UncertainDatabase,
+    counter_found: Callable[[np.ndarray], bool],
+    algorithms: Mapping[str, object],
+    ground_truth: Sequence[float],
+    max_budget_fraction: float = 1.0,
+) -> CounterDiscoveryResult:
+    """Follow each algorithm's cleaning order until a counterargument appears.
+
+    ``counter_found(values)`` decides whether the database state ``values``
+    (revealed true values for cleaned objects, current values elsewhere)
+    exhibits a counterargument to the original claim.  For each algorithm we
+    walk its selection order at the maximum budget, revealing one value at a
+    time, and record the first cost fraction at which a counter is visible.
+    """
+    truth = np.asarray(ground_truth, dtype=float)
+    total_cost = database.total_cost
+    exists = bool(counter_found(truth))
+
+    fraction_used: Dict[str, Optional[float]] = {}
+    cleaned_count: Dict[str, Optional[int]] = {}
+    for name, algorithm in algorithms.items():
+        budget = budget_from_fraction(database, max_budget_fraction)
+        order = algorithm.select_indices(database, budget)
+        values = np.array(database.current_values, copy=True)
+        spent = 0.0
+        found_at: Optional[float] = None
+        found_count: Optional[int] = None
+        for position, index in enumerate(order, start=1):
+            values[index] = truth[index]
+            spent += database[index].cost
+            if counter_found(values):
+                found_at = spent / total_cost
+                found_count = position
+                break
+        fraction_used[name] = found_at
+        cleaned_count[name] = found_count
+    return CounterDiscoveryResult(
+        budget_fraction_used=fraction_used,
+        values_cleaned=cleaned_count,
+        counter_exists_in_truth=exists,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Competing objectives (Section 4.6, Figure 12)
+# --------------------------------------------------------------------------- #
+@dataclass
+class CompetingObjectivesResult:
+    """Both algorithms scored on both objectives across budgets."""
+
+    budget_fractions: List[float]
+    expected_variance: Dict[str, List[float]]
+    counter_probability: Dict[str, List[float]]
+
+    def as_rows(self) -> List[dict]:
+        rows = []
+        for algorithm in self.expected_variance:
+            for fraction, variance, probability in zip(
+                self.budget_fractions,
+                self.expected_variance[algorithm],
+                self.counter_probability[algorithm],
+            ):
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "budget_fraction": fraction,
+                        "expected_variance": variance,
+                        "counter_probability": probability,
+                    }
+                )
+        return rows
+
+
+def run_competing_objectives(
+    database: UncertainDatabase,
+    minvar_algorithm,
+    maxpr_algorithm,
+    evaluate_variance: Callable[[Sequence[int]], float],
+    evaluate_probability: Callable[[Sequence[int]], float],
+    budget_fractions: Sequence[float],
+) -> CompetingObjectivesResult:
+    """Score the MinVar-oriented and MaxPr-oriented strategies on both objectives."""
+    fractions = [float(f) for f in budget_fractions]
+    algorithms = {"MinVar": minvar_algorithm, "MaxPr": maxpr_algorithm}
+    expected_variance: Dict[str, List[float]] = {name: [] for name in algorithms}
+    counter_probability: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for fraction in fractions:
+        budget = budget_from_fraction(database, fraction)
+        for name, algorithm in algorithms.items():
+            selected = algorithm.select_indices(database, budget)
+            expected_variance[name].append(float(evaluate_variance(selected)))
+            counter_probability[name].append(float(evaluate_probability(selected)))
+    return CompetingObjectivesResult(
+        budget_fractions=fractions,
+        expected_variance=expected_variance,
+        counter_probability=counter_probability,
+    )

@@ -1,0 +1,88 @@
+"""Budget sweeps: run selection algorithms across a range of budgets.
+
+This is the engine behind most of the paper's figures, which all share the
+same x-axis (budget as a fraction of the total cleaning cost) and differ only
+in the workload and the objective reported on the y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problems import budget_from_fraction
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = ["SweepResult", "run_budget_sweep", "DEFAULT_BUDGET_FRACTIONS"]
+
+DEFAULT_BUDGET_FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+@dataclass
+class SweepResult:
+    """Objective values per algorithm per budget fraction.
+
+    ``series[algorithm]`` is a list aligned with ``budget_fractions``; each
+    entry is the objective value achieved by that algorithm's selection at
+    that budget.  ``selections`` records the selected index tuples, which the
+    "in action" experiments reuse.
+    """
+
+    budget_fractions: List[float]
+    series: Dict[str, List[float]]
+    selections: Dict[str, List[tuple]] = field(default_factory=dict)
+    description: str = ""
+
+    def as_rows(self) -> List[dict]:
+        """Tidy rows (one per algorithm x budget) for reporting/benchmarks."""
+        rows = []
+        for algorithm, values in self.series.items():
+            for fraction, value in zip(self.budget_fractions, values):
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "budget_fraction": fraction,
+                        "objective": value,
+                    }
+                )
+        return rows
+
+    def best_algorithm_at(self, fraction: float, lower_is_better: bool = True) -> str:
+        """Name of the algorithm with the best objective at the given fraction."""
+        index = self.budget_fractions.index(fraction)
+        chooser = min if lower_is_better else max
+        return chooser(self.series, key=lambda name: self.series[name][index])
+
+
+def run_budget_sweep(
+    database: UncertainDatabase,
+    algorithms: Mapping[str, object],
+    evaluate: Callable[[Sequence[int]], float],
+    budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
+    description: str = "",
+) -> SweepResult:
+    """Run each algorithm at each budget and evaluate its selection.
+
+    ``algorithms`` maps a display name to an object with a
+    ``select_indices(database, budget)`` method (all selection algorithms in
+    :mod:`repro.core` provide it).  ``evaluate`` maps a selection to the
+    objective value reported on the y-axis — typically the expected variance
+    that remains, or the probability of finding a counter.
+    """
+    fractions = [float(f) for f in budget_fractions]
+    series: Dict[str, List[float]] = {name: [] for name in algorithms}
+    selections: Dict[str, List[tuple]] = {name: [] for name in algorithms}
+    for fraction in fractions:
+        budget = budget_from_fraction(database, fraction)
+        for name, algorithm in algorithms.items():
+            selected = tuple(algorithm.select_indices(database, budget))
+            series[name].append(float(evaluate(selected)))
+            selections[name].append(selected)
+    return SweepResult(
+        budget_fractions=fractions,
+        series=series,
+        selections=selections,
+        description=description,
+    )

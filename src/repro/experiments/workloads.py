@@ -1,0 +1,231 @@
+"""Standard fact-checking workloads used by the paper's evaluation.
+
+Each builder returns everything an experiment needs: the (possibly
+discretized) database, the query function handed to MinVar / MaxPr, and the
+perturbation set behind it.  The builders are shared by the figures harness
+(:mod:`repro.experiments.figures`), the examples and the integration tests so
+the workload definitions live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction, LinearClaim, SumClaim, WindowSumClaim
+from repro.claims.perturbations import (
+    PerturbationSet,
+    exponential_sensibility,
+    window_shift_perturbations,
+    window_sum_perturbations,
+)
+from repro.claims.quality import Bias, Duplicity, Fragility
+from repro.claims.strength import lower_is_stronger, subtraction_strength
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "Workload",
+    "fairness_window_comparison_workload",
+    "cdc_causes_share_workload",
+    "uniqueness_workload",
+    "robustness_workload",
+]
+
+
+@dataclass
+class Workload:
+    """A ready-to-run fact-checking workload.
+
+    ``database`` is the database the algorithms operate on (already
+    discretized when the query function needs finite supports);
+    ``query_function`` is the MinVar/MaxPr query function ``f``;
+    ``perturbations`` is the underlying perturbation set; ``description``
+    says which paper experiment the workload corresponds to.
+    """
+
+    database: UncertainDatabase
+    query_function: ClaimFunction
+    perturbations: PerturbationSet
+    description: str = ""
+
+
+def fairness_window_comparison_workload(
+    database: UncertainDatabase,
+    width: int = 4,
+    later_window_start: Optional[int] = None,
+    max_perturbations: int = 18,
+    sensibility_rate: float = 1.5,
+) -> Workload:
+    """Fairness (bias) of a window-aggregate comparison claim (Figure 1).
+
+    The original claim compares the window starting at ``later_window_start``
+    with the immediately preceding window of the same width (the Giuliani
+    adoption claim compares 1993--1996 with 1989--1992).  Perturbations slide
+    the pair of windows across the timeline with exponentially decaying
+    sensibility.  The query function is the bias measure, which is linear, so
+    the modular algorithms of Section 3.2 apply.
+    """
+    n = len(database)
+    if later_window_start is None:
+        later_window_start = width
+    if later_window_start < width:
+        raise ValueError("the later window must leave room for the earlier window")
+    perturbations = window_shift_perturbations(
+        n_objects=n,
+        width=width,
+        original_first_start=later_window_start,
+        original_second_start=later_window_start - width,
+        max_perturbations=max_perturbations,
+        sensibility_rate=sensibility_rate,
+    )
+    bias = Bias(perturbations, database.current_values)
+    return Workload(
+        database=database,
+        query_function=bias,
+        perturbations=perturbations,
+        description=f"fairness of window comparison claim (width={width})",
+    )
+
+
+def cdc_causes_share_workload(
+    database: UncertainDatabase,
+    n_causes: int = 4,
+    n_years: int = 17,
+    target_cause: int = 1,
+    period_years: int = 2,
+    share: float = 0.3,
+    max_perturbations: int = 16,
+    sensibility_rate: float = 1.5,
+) -> Workload:
+    """Fairness of the CDC-causes "share of all other causes" claim (Figure 1d).
+
+    The claim states that, over the last ``period_years`` years, injuries from
+    the target cause exceed ``share`` of all other causes combined:
+    ``sum(target) - share * sum(others) > 0``.  Perturbations make the same
+    comparison over earlier periods.  Objects are assumed to be ordered
+    year-major with ``n_causes`` entries per year (the layout of
+    :func:`repro.datasets.cdc.load_cdc_causes`).
+    """
+    if len(database) != n_causes * n_years:
+        raise ValueError("database layout does not match n_causes x n_years")
+
+    def period_claim(last_year_index: int, label: str) -> LinearClaim:
+        weights = {}
+        for year in range(last_year_index - period_years + 1, last_year_index + 1):
+            for cause in range(n_causes):
+                index = year * n_causes + cause
+                weights[index] = 1.0 if cause == target_cause else -share
+        return LinearClaim(weights, label=label)
+
+    original = period_claim(n_years - 1, label="original")
+    claims: List[ClaimFunction] = []
+    distances: List[float] = []
+    for last_year in range(period_years - 1, n_years - 1):
+        claims.append(period_claim(last_year, label=f"period_ending_{last_year}"))
+        distances.append(abs((n_years - 1) - last_year))
+    if len(claims) > max_perturbations:
+        order = sorted(range(len(claims)), key=lambda i: distances[i])[:max_perturbations]
+        order = sorted(order)
+        claims = [claims[i] for i in order]
+        distances = [distances[i] for i in order]
+    weights = exponential_sensibility(distances, rate=sensibility_rate)
+    perturbations = PerturbationSet(original, tuple(claims), tuple(weights))
+    bias = Bias(perturbations, database.current_values)
+    return Workload(
+        database=database,
+        query_function=bias,
+        perturbations=perturbations,
+        description="fairness of CDC-causes share claim",
+    )
+
+
+def uniqueness_workload(
+    database: UncertainDatabase,
+    window_width: int,
+    gamma: float,
+    original_start: Optional[int] = None,
+    max_perturbations: Optional[int] = None,
+    sensibility_rate: float = 1.5,
+    discretize_points: int = 6,
+) -> Workload:
+    """Uniqueness (duplicity) of a "sum as low as Gamma" claim (Figures 2--5).
+
+    The original claim asserts that the sum over the window ending at the last
+    object is as low as ``gamma``; perturbations are the same-width sums over
+    the other (non-overlapping) windows tiling the timeline — 10 windows for
+    the 40-value synthetic datasets, 8 two-year windows for CDC-firearms —
+    and duplicity counts perturbations whose sum is no higher than ``gamma``
+    (lower-is-stronger strength).  Normal error models are discretized to
+    ``discretize_points`` support values, as in Section 4.2.
+    """
+    working = database if database.all_discrete() else database.discretized(points=discretize_points)
+    n = len(working)
+    if original_start is None:
+        original_start = n - window_width
+    perturbations = window_sum_perturbations(
+        n_objects=n,
+        width=window_width,
+        original_start=original_start,
+        max_perturbations=max_perturbations,
+        sensibility_rate=sensibility_rate,
+        non_overlapping=True,
+        include_original=True,
+    )
+    duplicity = Duplicity(
+        perturbations,
+        working.current_values,
+        strength=lower_is_stronger,
+        baseline=gamma,
+    )
+    return Workload(
+        database=working,
+        query_function=duplicity,
+        perturbations=perturbations,
+        description=f"uniqueness of 'sum as low as {gamma:g}' claim (width={window_width})",
+    )
+
+
+def robustness_workload(
+    database: UncertainDatabase,
+    window_width: int,
+    gamma: float,
+    original_start: Optional[int] = None,
+    max_perturbations: Optional[int] = None,
+    sensibility_rate: float = 1.5,
+    discretize_points: int = 6,
+) -> Workload:
+    """Robustness (fragility) of a "sum as high as Gamma" claim (Figure 7).
+
+    The original claim asserts the windowed sum is as high as ``gamma``;
+    perturbations are the non-overlapping same-width windows tiling the
+    timeline (25 windows for the 100-value synthetic datasets); fragility
+    accumulates the squared weakening of perturbations whose sums fall below
+    ``gamma``.
+    """
+    working = database if database.all_discrete() else database.discretized(points=discretize_points)
+    n = len(working)
+    if original_start is None:
+        original_start = n - window_width
+    perturbations = window_sum_perturbations(
+        n_objects=n,
+        width=window_width,
+        original_start=original_start,
+        max_perturbations=max_perturbations,
+        sensibility_rate=sensibility_rate,
+        non_overlapping=True,
+        include_original=True,
+    )
+    fragility = Fragility(
+        perturbations,
+        working.current_values,
+        strength=subtraction_strength,
+        baseline=gamma,
+    )
+    return Workload(
+        database=working,
+        query_function=fragility,
+        perturbations=perturbations,
+        description=f"robustness of 'sum as high as {gamma:g}' claim (width={window_width})",
+    )

@@ -1,0 +1,34 @@
+"""Uncertainty substrate: probabilistic value models for uncertain databases.
+
+This subpackage models the paper's data layer: a set of objects whose
+*identities* are certain but whose *values* are uncertain.  Each object carries
+a current (possibly erroneous) value ``u_i``, a probability distribution for
+its true value ``X_i``, and a cleaning cost ``c_i``.  The
+:class:`~repro.uncertainty.database.UncertainDatabase` collects objects and
+provides the world-enumeration, sampling and conditioning primitives that the
+optimization algorithms in :mod:`repro.core` are built on.
+"""
+
+from repro.uncertainty.distributions import (
+    DiscreteDistribution,
+    NormalSpec,
+    discretize_normal,
+)
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.correlation import (
+    GaussianWorldModel,
+    decaying_covariance,
+    conditional_covariance,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "NormalSpec",
+    "discretize_normal",
+    "UncertainObject",
+    "UncertainDatabase",
+    "GaussianWorldModel",
+    "decaying_covariance",
+    "conditional_covariance",
+]

@@ -1,0 +1,188 @@
+"""Correlated (multivariate normal) world models.
+
+The paper's theoretical guarantees mostly assume independent errors, but
+Section 4.5 evaluates what happens when errors are correlated: a covariance
+matrix with entries ``gamma**|j-i| * sigma_i * sigma_j`` is injected into the
+CDC-firearms dataset, and dependency-aware algorithms (``GreedyDep``, the
+brute-force ``OPT``) exploit it.  Theorem 3.9 also needs the general
+multivariate normal machinery (conditional covariance via the Schur
+complement).  This module provides that machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.uncertainty.database import UncertainDatabase
+
+__all__ = [
+    "decaying_covariance",
+    "conditional_covariance",
+    "GaussianWorldModel",
+]
+
+
+def decaying_covariance(stds: Sequence[float], gamma: float) -> np.ndarray:
+    """Covariance matrix with geometrically decaying cross-correlations.
+
+    ``Cov[X_i, X_j] = gamma**|j-i| * sigma_i * sigma_j`` — the dependency
+    injection model of Section 4.5.  ``gamma = 0`` recovers independence and
+    ``gamma`` close to 1 makes neighbouring years strongly dependent.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+    stds = np.asarray(stds, dtype=float)
+    if np.any(stds < 0):
+        raise ValueError("standard deviations must be nonnegative")
+    n = stds.size
+    lags = np.abs(np.subtract.outer(np.arange(n), np.arange(n)))
+    decay = np.where(lags == 0, 1.0, gamma**lags)
+    return decay * np.outer(stds, stds)
+
+
+def conditional_covariance(
+    covariance: np.ndarray, observed: Sequence[int]
+) -> np.ndarray:
+    """Covariance of the unobserved components given the observed ones.
+
+    For a multivariate normal, conditioning on any outcome of the observed
+    components leaves the remaining components with covariance
+    ``Sigma_rr - Sigma_ro Sigma_oo^{-1} Sigma_or`` (Schur complement), which
+    does not depend on the observed values.  The returned matrix is indexed by
+    the unobserved components in their original order.
+    """
+    covariance = np.asarray(covariance, dtype=float)
+    n = covariance.shape[0]
+    observed = sorted(set(int(i) for i in observed))
+    remaining = [i for i in range(n) if i not in observed]
+    if not remaining:
+        return np.zeros((0, 0))
+    if not observed:
+        return covariance[np.ix_(remaining, remaining)]
+    sigma_rr = covariance[np.ix_(remaining, remaining)]
+    sigma_ro = covariance[np.ix_(remaining, observed)]
+    sigma_oo = covariance[np.ix_(observed, observed)]
+    # Use the pseudo-inverse so degenerate (zero-variance) observations are
+    # handled gracefully.
+    adjustment = sigma_ro @ np.linalg.pinv(sigma_oo) @ sigma_ro.T
+    return sigma_rr - adjustment
+
+
+class GaussianWorldModel:
+    """A multivariate normal model for the joint error distribution.
+
+    Wraps a mean vector and a covariance matrix and provides the quantities
+    the dependency-aware algorithms and the Theorem 3.9 analysis need:
+
+    * variance of a linear functional ``w . X``;
+    * expected post-cleaning variance of a linear functional after cleaning a
+      subset (which, for a multivariate normal, is deterministic -- the
+      conditional covariance does not depend on the revealed values);
+    * probability that a linear functional falls below a threshold after
+      cleaning a subset (the MaxPr objective for linear claims).
+    """
+
+    def __init__(self, means: Sequence[float], covariance: np.ndarray):
+        self.means = np.asarray(means, dtype=float)
+        self.covariance = np.asarray(covariance, dtype=float)
+        n = self.means.size
+        if self.covariance.shape != (n, n):
+            raise ValueError(
+                f"covariance must be {n}x{n}, got {self.covariance.shape}"
+            )
+        if not np.allclose(self.covariance, self.covariance.T, atol=1e-9):
+            raise ValueError("covariance matrix must be symmetric")
+        eigenvalues = np.linalg.eigvalsh(self.covariance)
+        if np.any(eigenvalues < -1e-8):
+            raise ValueError("covariance matrix must be positive semi-definite")
+
+    @classmethod
+    def independent(cls, means: Sequence[float], stds: Sequence[float]) -> "GaussianWorldModel":
+        """Model with independent components (diagonal covariance)."""
+        stds = np.asarray(stds, dtype=float)
+        return cls(means, np.diag(stds**2))
+
+    @classmethod
+    def from_database(
+        cls, database: UncertainDatabase, gamma: float = 0.0, centered_at_current: bool = True
+    ) -> "GaussianWorldModel":
+        """Build a model from a database of normal-error objects.
+
+        ``gamma`` injects the Section 4.5 decaying dependency; ``gamma = 0``
+        keeps the errors independent.  ``centered_at_current`` centres the
+        model at the current values ``u`` (Theorem 3.9's assumption); set it to
+        False to centre at the per-object distribution means instead.
+        """
+        means = database.current_values if centered_at_current else database.means
+        covariance = decaying_covariance(database.stds, gamma)
+        return cls(means, covariance)
+
+    @property
+    def size(self) -> int:
+        return int(self.means.size)
+
+    # ------------------------------------------------------------------ #
+    # Linear functionals
+    # ------------------------------------------------------------------ #
+    def variance_of_linear(self, weights: Sequence[float]) -> float:
+        """Variance of ``w . X``."""
+        w = np.asarray(weights, dtype=float)
+        return float(w @ self.covariance @ w)
+
+    def post_cleaning_variance(self, weights: Sequence[float], cleaned: Sequence[int]) -> float:
+        """Expected variance of ``w . X`` after cleaning the ``cleaned`` subset.
+
+        Because the conditional covariance of a multivariate normal does not
+        depend on the observed outcome, the expectation over cleaning outcomes
+        equals the (deterministic) conditional variance, computed on the
+        weights restricted to the uncleaned components.
+        """
+        w = np.asarray(weights, dtype=float)
+        cleaned = sorted(set(int(i) for i in cleaned))
+        remaining = [i for i in range(self.size) if i not in cleaned]
+        if not remaining:
+            return 0.0
+        conditional = conditional_covariance(self.covariance, cleaned)
+        w_remaining = w[remaining]
+        return float(w_remaining @ conditional @ w_remaining)
+
+    def surprise_probability(
+        self,
+        weights: Sequence[float],
+        cleaned: Sequence[int],
+        threshold_drop: float,
+        current_values: Optional[Sequence[float]] = None,
+    ) -> float:
+        """MaxPr objective for a linear functional under this model.
+
+        Computes ``Pr[w . X' < w . u - tau]`` where ``X'`` keeps the current
+        values for uncleaned objects and re-draws the cleaned ones from the
+        (marginal, possibly correlated) model.  ``threshold_drop`` is ``tau``.
+        An empty cleaned set gives probability zero (the paper's convention).
+        """
+        from scipy import stats
+
+        cleaned = sorted(set(int(i) for i in cleaned))
+        if not cleaned:
+            return 0.0
+        w = np.asarray(weights, dtype=float)
+        u = np.asarray(
+            self.means if current_values is None else current_values, dtype=float
+        )
+        w_cleaned = w[cleaned]
+        sub_cov = self.covariance[np.ix_(cleaned, cleaned)]
+        variance = float(w_cleaned @ sub_cov @ w_cleaned)
+        # Shift of the mean relative to the "all current values" baseline.
+        mean_shift = float(w_cleaned @ (self.means[cleaned] - u[cleaned]))
+        if variance <= 0.0:
+            return 1.0 if mean_shift < -threshold_drop else 0.0
+        return float(stats.norm.cdf((-threshold_drop - mean_shift) / np.sqrt(variance)))
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> np.ndarray:
+        """Draw worlds from the multivariate normal."""
+        return rng.multivariate_normal(self.means, self.covariance, size=size)

@@ -1,0 +1,243 @@
+"""The uncertain database: an ordered collection of uncertain objects.
+
+This is the substrate every algorithm in :mod:`repro.core` operates on.  It
+exposes:
+
+* vectorized views of current values, means, variances and costs;
+* enumeration of the joint support of any subset of objects (assuming
+  independent errors, the setting of Lemmas 3.2--3.6 and Theorem 3.8);
+* world sampling (for Monte-Carlo estimators and the "in action" experiments);
+* conditioning: producing the database that results from cleaning a subset of
+  objects to specific revealed values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["UncertainDatabase"]
+
+
+class UncertainDatabase:
+    """An ordered set of :class:`UncertainObject` values.
+
+    Objects are addressable both by integer index (their position) and by
+    name.  The order is significant: claim functions reference objects by
+    index, matching the paper's vector notation ``X = (X_1, ..., X_n)``.
+    """
+
+    def __init__(self, objects: Sequence[UncertainObject]):
+        objects = list(objects)
+        if not objects:
+            raise ValueError("an uncertain database needs at least one object")
+        names = [obj.name for obj in objects]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate object names: {duplicates}")
+        self._objects: List[UncertainObject] = objects
+        self._index_by_name: Dict[str, int] = {obj.name: i for i, obj in enumerate(objects)}
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects)
+
+    def __getitem__(self, key) -> UncertainObject:
+        if isinstance(key, str):
+            return self._objects[self._index_by_name[key]]
+        return self._objects[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index_by_name
+
+    def __repr__(self) -> str:
+        return f"UncertainDatabase(n={len(self)}, total_cost={self.total_cost:g})"
+
+    @property
+    def objects(self) -> List[UncertainObject]:
+        return list(self._objects)
+
+    @property
+    def names(self) -> List[str]:
+        return [obj.name for obj in self._objects]
+
+    def index_of(self, name: str) -> int:
+        """Position of the object with the given name."""
+        return self._index_by_name[name]
+
+    def indices_of(self, names: Iterable[str]) -> List[int]:
+        return [self._index_by_name[name] for name in names]
+
+    # ------------------------------------------------------------------ #
+    # Vector views
+    # ------------------------------------------------------------------ #
+    @property
+    def current_values(self) -> np.ndarray:
+        """The vector ``u`` of current (reported) values."""
+        return np.array([obj.current_value for obj in self._objects], dtype=float)
+
+    @property
+    def means(self) -> np.ndarray:
+        """Per-object means of the true-value distributions."""
+        return np.array([obj.mean for obj in self._objects], dtype=float)
+
+    @property
+    def variances(self) -> np.ndarray:
+        """Per-object variances of the true-value distributions."""
+        return np.array([obj.variance for obj in self._objects], dtype=float)
+
+    @property
+    def stds(self) -> np.ndarray:
+        return np.sqrt(self.variances)
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Per-object cleaning costs ``c_i``."""
+        return np.array([obj.cost for obj in self._objects], dtype=float)
+
+    @property
+    def total_cost(self) -> float:
+        """Cost of cleaning every object."""
+        return float(self.costs.sum())
+
+    def max_support_size(self) -> int:
+        """Largest discrete support size among the objects (``V`` in Thm 3.8)."""
+        sizes = [
+            obj.distribution.support_size
+            for obj in self._objects
+            if isinstance(obj.distribution, DiscreteDistribution)
+        ]
+        return max(sizes) if sizes else 0
+
+    def all_discrete(self) -> bool:
+        """True when every object has a finite discrete distribution."""
+        return all(isinstance(obj.distribution, DiscreteDistribution) for obj in self._objects)
+
+    def all_normal(self) -> bool:
+        """True when every object has a normal error model."""
+        return all(isinstance(obj.distribution, NormalSpec) for obj in self._objects)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def discretized(self, points: int = 6, method: str = "quantile") -> "UncertainDatabase":
+        """Database with every normal error model discretized."""
+        return UncertainDatabase([obj.discretized(points=points, method=method) for obj in self._objects])
+
+    def with_current_values(self, values: Sequence[float]) -> "UncertainDatabase":
+        """Database with the same distributions but different current values."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self),):
+            raise ValueError(f"expected {len(self)} values, got {values.shape}")
+        updated = [
+            UncertainObject(
+                name=obj.name,
+                current_value=float(v),
+                distribution=obj.distribution,
+                cost=obj.cost,
+                label=obj.label,
+            )
+            for obj, v in zip(self._objects, values)
+        ]
+        return UncertainDatabase(updated)
+
+    def cleaned(self, revealed: Mapping[int, float]) -> "UncertainDatabase":
+        """Database after cleaning the objects in ``revealed``.
+
+        ``revealed`` maps object indices to their revealed true values.  The
+        cleaned objects become certain (point-mass distributions) while the
+        remaining objects are untouched.
+        """
+        updated = []
+        for i, obj in enumerate(self._objects):
+            if i in revealed:
+                updated.append(obj.cleaned(revealed[i]))
+            else:
+                updated.append(obj)
+        return UncertainDatabase(updated)
+
+    def subset(self, indices: Sequence[int]) -> "UncertainDatabase":
+        """Database restricted to the given object positions (order preserved)."""
+        return UncertainDatabase([self._objects[i] for i in indices])
+
+    # ------------------------------------------------------------------ #
+    # World enumeration (independent errors)
+    # ------------------------------------------------------------------ #
+    def enumerate_joint_support(
+        self, indices: Sequence[int]
+    ) -> Iterator[Tuple[Dict[int, float], float]]:
+        """Enumerate the joint support of the objects at ``indices``.
+
+        Yields ``(assignment, probability)`` pairs where ``assignment`` maps
+        each index to a support value.  Errors are assumed independent, so the
+        joint probability is the product of marginals.  Objects must have
+        discrete distributions (discretize first otherwise).
+
+        An empty ``indices`` yields a single empty assignment with probability
+        one, which keeps callers uniform.
+        """
+        indices = list(indices)
+        if not indices:
+            yield {}, 1.0
+            return
+        supports = []
+        for i in indices:
+            dist = self._objects[i].distribution
+            if not isinstance(dist, DiscreteDistribution):
+                raise TypeError(
+                    f"object {self._objects[i].name!r} has a continuous distribution; "
+                    "call .discretized() before enumerating worlds"
+                )
+            supports.append(list(zip(dist.values, dist.probabilities)))
+        for combo in itertools.product(*supports):
+            probability = 1.0
+            assignment = {}
+            for index, (value, p) in zip(indices, combo):
+                probability *= p
+                assignment[index] = float(value)
+            if probability > 0.0:
+                yield assignment, probability
+
+    def joint_support_size(self, indices: Sequence[int]) -> int:
+        """Number of joint outcomes for the objects at ``indices``."""
+        size = 1
+        for i in indices:
+            dist = self._objects[i].distribution
+            if not isinstance(dist, DiscreteDistribution):
+                raise TypeError("joint support size requires discrete distributions")
+            size *= dist.support_size
+        return size
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_world(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one full assignment of true values (a possible world)."""
+        return np.array([obj.sample(rng) for obj in self._objects], dtype=float)
+
+    def sample_worlds(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` worlds; returns an array of shape ``(count, n)``."""
+        return np.stack([self.sample_world(rng) for _ in range(count)])
+
+    def values_with_assignment(
+        self, assignment: Mapping[int, float], base: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Full value vector with ``assignment`` overriding ``base``.
+
+        ``base`` defaults to the vector of current values, matching the MaxPr
+        semantics where uncleaned objects keep their current values.
+        """
+        values = np.array(self.current_values if base is None else base, dtype=float, copy=True)
+        for index, value in assignment.items():
+            values[index] = value
+        return values

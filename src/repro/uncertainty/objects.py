@@ -1,0 +1,125 @@
+"""Uncertain objects: the unit of cleaning.
+
+An :class:`UncertainObject` is the paper's ``o_i``: a named quantity with a
+current (reported, possibly erroneous) value ``u_i``, a distribution for its
+true value ``X_i``, and a cleaning cost ``c_i``.  Cleaning the object reveals a
+draw from the distribution and removes its uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+
+__all__ = ["UncertainObject"]
+
+Distribution = Union[DiscreteDistribution, NormalSpec]
+
+
+@dataclass(frozen=True)
+class UncertainObject:
+    """A single uncertain data value.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier (e.g. ``"adoptions_1993"`` or ``"firearms_2005"``).
+    current_value:
+        The value currently recorded in the database, ``u_i``.
+    distribution:
+        The distribution of the true value ``X_i`` — either a
+        :class:`DiscreteDistribution` or a :class:`NormalSpec`.
+    cost:
+        The cost of cleaning the object, ``c_i`` (must be positive).
+    label:
+        Optional human-readable description.
+    """
+
+    name: str
+    current_value: float
+    distribution: Distribution
+    cost: float = 1.0
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("an uncertain object needs a non-empty name")
+        if self.cost <= 0:
+            raise ValueError(f"cleaning cost must be positive, got {self.cost}")
+        if not isinstance(self.distribution, (DiscreteDistribution, NormalSpec)):
+            raise TypeError(
+                "distribution must be a DiscreteDistribution or NormalSpec, "
+                f"got {type(self.distribution).__name__}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Distribution shortcuts
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        """Mean of the true-value distribution."""
+        return self.distribution.mean
+
+    @property
+    def variance(self) -> float:
+        """Variance of the true-value distribution."""
+        return self.distribution.variance
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def is_normal(self) -> bool:
+        """True when the error model is a (continuous) normal."""
+        return isinstance(self.distribution, NormalSpec)
+
+    def is_certain(self) -> bool:
+        """True when there is no uncertainty left in the value."""
+        if isinstance(self.distribution, DiscreteDistribution):
+            return self.distribution.is_certain()
+        return self.distribution.std == 0.0
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def discretized(self, points: int = 6, method: str = "quantile") -> "UncertainObject":
+        """Return a copy whose distribution is a finite discretization.
+
+        Discrete objects are returned unchanged.  This mirrors the paper's
+        Section 4.2 treatment of the CDC normal error models.
+        """
+        if isinstance(self.distribution, DiscreteDistribution):
+            return self
+        return replace(self, distribution=self.distribution.discretize(points=points, method=method))
+
+    def cleaned(self, revealed_value: float) -> "UncertainObject":
+        """Return a copy representing the object after cleaning.
+
+        The revealed value becomes both the current value and a point-mass
+        distribution, so downstream computations see no remaining uncertainty.
+        """
+        return replace(
+            self,
+            current_value=float(revealed_value),
+            distribution=DiscreteDistribution.point_mass(float(revealed_value)),
+        )
+
+    def with_cost(self, cost: float) -> "UncertainObject":
+        """Return a copy with a different cleaning cost."""
+        return replace(self, cost=float(cost))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one possible true value."""
+        return self.distribution.sample(rng)
+
+    def __repr__(self) -> str:
+        kind = "normal" if self.is_normal else f"discrete[{self.distribution.support_size}]"
+        return (
+            f"UncertainObject(name={self.name!r}, u={self.current_value:g}, "
+            f"dist={kind}, cost={self.cost:g})"
+        )

@@ -1,0 +1,118 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim, SumClaim, ThresholdClaim, WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Bias, Duplicity, Fragility
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def example5_database():
+    """The two-object database of the paper's Example 5.
+
+    X1 uniform on {0, 1/2, 1, 3/2, 2}, X2 uniform on {1/3, 1, 5/3}, current
+    values u = (1, 1), unit costs.
+    """
+    x1 = DiscreteDistribution.uniform([0.0, 0.5, 1.0, 1.5, 2.0])
+    x2 = DiscreteDistribution.uniform([1.0 / 3.0, 1.0, 5.0 / 3.0])
+    return UncertainDatabase(
+        [
+            UncertainObject(name="x1", current_value=1.0, distribution=x1, cost=1.0),
+            UncertainObject(name="x2", current_value=1.0, distribution=x2, cost=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def example3_database():
+    """The three-Bernoulli database of Example 3 (success probabilities 1/2, 1/3, 1/4)."""
+    return UncertainDatabase(
+        [
+            UncertainObject(
+                name="b1", current_value=0.0, distribution=DiscreteDistribution.bernoulli(0.5)
+            ),
+            UncertainObject(
+                name="b2", current_value=0.0, distribution=DiscreteDistribution.bernoulli(1.0 / 3.0)
+            ),
+            UncertainObject(
+                name="b3", current_value=0.0, distribution=DiscreteDistribution.bernoulli(0.25)
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def small_discrete_database(rng):
+    """Six small discrete objects with varied costs, for generic algorithm tests."""
+    objects = []
+    for i in range(6):
+        size = int(rng.integers(2, 5))
+        values = rng.choice(np.arange(1, 30), size=size, replace=False).astype(float)
+        probabilities = rng.uniform(0.1, 1.0, size=size)
+        distribution = DiscreteDistribution(values, probabilities)
+        objects.append(
+            UncertainObject(
+                name=f"obj{i}",
+                current_value=float(distribution.mean),
+                distribution=distribution,
+                cost=float(rng.uniform(1.0, 5.0)),
+            )
+        )
+    return UncertainDatabase(objects)
+
+
+@pytest.fixture
+def normal_database():
+    """Five normal-error objects centered at their current values."""
+    objects = []
+    currents = [100.0, 120.0, 80.0, 150.0, 95.0]
+    stds = [5.0, 10.0, 2.0, 8.0, 4.0]
+    costs = [1.0, 2.0, 3.0, 2.0, 1.5]
+    for i, (u, s, c) in enumerate(zip(currents, stds, costs)):
+        objects.append(
+            UncertainObject(
+                name=f"n{i}",
+                current_value=u,
+                distribution=NormalSpec(mean=u, std=s),
+                cost=c,
+            )
+        )
+    return UncertainDatabase(objects)
+
+
+@pytest.fixture
+def window_perturbation_set():
+    """Four non-overlapping 2-value window sums over 8 objects; the last is the original."""
+    original = WindowSumClaim(6, 2, label="original")
+    perturbations = [WindowSumClaim(s, 2, label=f"w{s}") for s in (0, 2, 4, 6)]
+    return PerturbationSet(original, tuple(perturbations), (1.0, 1.0, 1.0, 1.0))
+
+
+@pytest.fixture
+def eight_object_database(rng):
+    """Eight discrete objects, matching the window_perturbation_set fixture."""
+    objects = []
+    for i in range(8):
+        values = rng.choice(np.arange(1, 20), size=3, replace=False).astype(float)
+        distribution = DiscreteDistribution(values, rng.uniform(0.2, 1.0, size=3))
+        objects.append(
+            UncertainObject(
+                name=f"v{i}",
+                current_value=float(distribution.mean),
+                distribution=distribution,
+                cost=float(rng.uniform(1.0, 4.0)),
+            )
+        )
+    return UncertainDatabase(objects)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.alignment (Theorem 3.9)."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim, WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Bias
+from repro.core.alignment import (
+    check_alignment,
+    quadratic_coverage,
+    solve_coverage_exhaustive,
+    solve_coverage_greedy,
+)
+from repro.uncertainty.correlation import GaussianWorldModel, decaying_covariance
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+
+def normal_db(n=6, seed=0, centered=True):
+    rng = np.random.default_rng(seed)
+    objects = []
+    for i in range(n):
+        mean = float(rng.uniform(50, 150))
+        std = float(rng.uniform(2, 12))
+        current = mean if centered else mean + float(rng.normal(0, 2 * std))
+        objects.append(
+            UncertainObject(
+                f"g{i}", current, NormalSpec(mean=mean, std=std), cost=float(rng.uniform(1, 4))
+            )
+        )
+    return UncertainDatabase(objects)
+
+
+class TestQuadraticCoverage:
+    def test_empty_selection_is_zero(self):
+        cov = np.eye(3)
+        assert quadratic_coverage([1.0, 1.0, 1.0], cov, []) == 0.0
+
+    def test_diagonal_case(self):
+        cov = np.diag([1.0, 4.0, 9.0])
+        assert quadratic_coverage([1.0, 2.0, 1.0], cov, [1, 2]) == pytest.approx(16.0 + 9.0)
+
+    def test_correlated_case_includes_cross_terms(self):
+        cov = decaying_covariance([1.0, 1.0], gamma=0.5)
+        assert quadratic_coverage([1.0, 1.0], cov, [0, 1]) == pytest.approx(1 + 1 + 2 * 0.5)
+
+    def test_monotone_in_selection(self, rng):
+        cov = decaying_covariance(rng.uniform(1, 3, size=5), gamma=0.4)
+        w = rng.uniform(0.5, 2.0, size=5)
+        small = quadratic_coverage(w, cov, [0, 1])
+        large = quadratic_coverage(w, cov, [0, 1, 2])
+        assert large >= small - 1e-12
+
+
+class TestCoverageSolvers:
+    def test_exhaustive_beats_or_matches_greedy(self, rng):
+        for seed in range(3):
+            local = np.random.default_rng(seed)
+            n = 6
+            stds = local.uniform(1, 5, size=n)
+            cov = decaying_covariance(stds, gamma=0.3)
+            weights = local.uniform(0.2, 2.0, size=n)
+            costs = local.uniform(1, 4, size=n)
+            budget = float(costs.sum() * 0.5)
+            exhaustive = solve_coverage_exhaustive(weights, cov, costs, budget)
+            greedy = solve_coverage_greedy(weights, cov, costs, budget)
+            assert quadratic_coverage(weights, cov, exhaustive) >= quadratic_coverage(
+                weights, cov, greedy
+            ) - 1e-9
+
+    def test_exhaustive_respects_budget(self):
+        weights = [1.0, 1.0, 1.0]
+        cov = np.eye(3)
+        costs = [2.0, 2.0, 2.0]
+        selected = solve_coverage_exhaustive(weights, cov, costs, budget=3.0)
+        assert len(selected) <= 1
+
+    def test_exhaustive_rejects_large_instances(self):
+        n = 30
+        with pytest.raises(ValueError):
+            solve_coverage_exhaustive(np.ones(n), np.eye(n), np.ones(n), 5.0)
+
+
+def make_bias(database):
+    """Linear bias over non-overlapping 2-value windows of the database."""
+    n = len(database)
+    original = WindowSumClaim(n - 2, 2, label="original")
+    perturbations = tuple(WindowSumClaim(s, 2) for s in range(0, n - 2, 2))
+    ps = PerturbationSet(original, perturbations, tuple(1.0 for _ in perturbations))
+    return Bias(ps, database.current_values)
+
+
+class TestTheorem39Alignment:
+    def test_aligned_for_independent_centered_normals(self):
+        database = normal_db(6, seed=1, centered=True)
+        bias = make_bias(database)
+        model = GaussianWorldModel.from_database(database, gamma=0.0, centered_at_current=True)
+        report = check_alignment(database, bias, model, budget=database.total_cost * 0.5, tau=2.0)
+        assert report.aligned
+
+    def test_aligned_for_correlated_centered_normals(self):
+        database = normal_db(6, seed=2, centered=True)
+        bias = make_bias(database)
+        covariance = decaying_covariance(database.stds, gamma=0.6)
+        model = GaussianWorldModel(database.current_values, covariance)
+        report = check_alignment(database, bias, model, budget=database.total_cost * 0.4, tau=1.0)
+        # Theorem 3.9: with the model centered at the current values the two
+        # objectives share their optima, so each selection scores optimally on
+        # the other's objective.
+        assert report.maxpr_objective_of_minvar == pytest.approx(
+            report.maxpr_objective_of_maxpr, abs=1e-6
+        )
+
+    def test_misaligned_when_not_centered(self):
+        # Shift the current values away from the distribution means: the MaxPr
+        # strategy now prefers objects whose means sit below their current
+        # values, which the MinVar strategy ignores.
+        rng = np.random.default_rng(3)
+        objects = []
+        for i in range(6):
+            mean = 100.0
+            std = 5.0 if i % 2 == 0 else 5.1
+            shift = 15.0 if i < 3 else -15.0
+            objects.append(
+                UncertainObject(
+                    f"s{i}", mean + shift, NormalSpec(mean=mean, std=std), cost=1.0
+                )
+            )
+        database = UncertainDatabase(objects)
+        bias = make_bias(database)
+        model = GaussianWorldModel(database.means, decaying_covariance(database.stds, 0.0))
+        report = check_alignment(database, bias, model, budget=2.0, tau=0.0)
+        # The probability achieved by the MaxPr-optimal selection strictly
+        # exceeds the probability achieved by the MinVar-optimal one.
+        assert report.maxpr_objective_of_maxpr > report.maxpr_objective_of_minvar + 1e-6
+
+    def test_requires_linear_bias(self):
+        database = normal_db(4)
+        from repro.claims.functions import SumClaim, ThresholdClaim
+
+        indicator = ThresholdClaim(SumClaim([0, 1]), threshold=100.0)
+        model = GaussianWorldModel.from_database(database)
+        with pytest.raises(TypeError):
+            check_alignment(database, indicator, model, budget=2.0)
+
+    def test_greedy_mode_runs(self):
+        database = normal_db(8, seed=4)
+        bias = make_bias(database)
+        model = GaussianWorldModel.from_database(database)
+        report = check_alignment(
+            database, bias, model, budget=database.total_cost * 0.3, tau=1.0, exhaustive=False
+        )
+        assert report.minvar_objective_of_minvar >= 0.0
+        assert 0.0 <= report.maxpr_objective_of_maxpr <= 1.0

@@ -1,0 +1,168 @@
+"""Unit tests for repro.claims.functions."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import (
+    LinearClaim,
+    SumClaim,
+    ThresholdClaim,
+    WindowAggregateComparisonClaim,
+    WindowSumClaim,
+)
+
+
+class TestLinearClaim:
+    def test_evaluate(self):
+        claim = LinearClaim({0: 2.0, 2: -1.0}, intercept=3.0)
+        assert claim.evaluate([1.0, 100.0, 4.0]) == pytest.approx(2.0 - 4.0 + 3.0)
+
+    def test_zero_weights_are_dropped(self):
+        claim = LinearClaim({0: 0.0, 1: 1.0})
+        assert claim.referenced_indices == frozenset({1})
+
+    def test_referenced_indices(self):
+        claim = LinearClaim({3: 1.0, 7: 2.0})
+        assert claim.referenced_indices == frozenset({3, 7})
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            LinearClaim({-1: 1.0})
+
+    def test_is_linear(self):
+        assert LinearClaim({0: 1.0}).is_linear()
+
+    def test_weights_dense_vector(self):
+        claim = LinearClaim({1: 2.0, 3: -1.0})
+        assert list(claim.weights(5)) == [0.0, 2.0, 0.0, -1.0, 0.0]
+
+    def test_weights_rejects_too_small_size(self):
+        claim = LinearClaim({4: 1.0})
+        with pytest.raises(ValueError):
+            claim.weights(3)
+
+    def test_intercept(self):
+        assert LinearClaim({0: 1.0}, intercept=5.0).intercept() == 5.0
+
+    def test_from_vector(self):
+        claim = LinearClaim.from_vector([1.0, 0.0, -2.0], intercept=1.0)
+        assert claim.sparse_weights == {0: 1.0, 2: -2.0}
+        assert claim.evaluate([1.0, 9.0, 1.0]) == pytest.approx(1.0 - 2.0 + 1.0)
+
+    def test_scaled(self):
+        claim = LinearClaim({0: 2.0}, intercept=1.0).scaled(3.0)
+        assert claim.sparse_weights == {0: 6.0}
+        assert claim.intercept() == 3.0
+
+    def test_plus(self):
+        a = LinearClaim({0: 1.0, 1: 1.0}, intercept=1.0)
+        b = LinearClaim({1: -1.0, 2: 2.0}, intercept=2.0)
+        combined = a.plus(b)
+        assert combined.sparse_weights == {0: 1.0, 2: 2.0}
+        assert combined.intercept() == 3.0
+
+    def test_callable(self):
+        claim = LinearClaim({0: 1.0})
+        assert claim([7.0]) == 7.0
+
+    def test_description_label(self):
+        assert LinearClaim({0: 1.0}, label="my claim").description == "my claim"
+
+
+class TestWindowSumClaim:
+    def test_evaluate(self):
+        claim = WindowSumClaim(1, 3)
+        assert claim.evaluate([1.0, 2.0, 3.0, 4.0, 5.0]) == pytest.approx(9.0)
+
+    def test_referenced_indices(self):
+        claim = WindowSumClaim(2, 2)
+        assert claim.referenced_indices == frozenset({2, 3})
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            WindowSumClaim(0, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            WindowSumClaim(-1, 2)
+
+    def test_is_linear(self):
+        assert WindowSumClaim(0, 4).is_linear()
+
+
+class TestWindowAggregateComparisonClaim:
+    def test_evaluate_difference(self):
+        # first window [2,4) minus second window [0,2)
+        claim = WindowAggregateComparisonClaim(2, 0, 2)
+        assert claim.evaluate([1.0, 2.0, 10.0, 20.0]) == pytest.approx(30.0 - 3.0)
+
+    def test_overlapping_windows_cancel(self):
+        claim = WindowAggregateComparisonClaim(1, 0, 2)
+        # weights: idx0 -1, idx1 cancels to 0? first={1,2}, second={0,1} -> idx1 weight 0
+        assert claim.referenced_indices == frozenset({0, 2})
+        assert claim.evaluate([5.0, 99.0, 7.0]) == pytest.approx(2.0)
+
+    def test_giuliani_shape(self):
+        # later window (index 4..7) minus earlier window (0..3)
+        claim = WindowAggregateComparisonClaim(4, 0, 4)
+        values = np.arange(8, dtype=float)
+        assert claim.evaluate(values) == pytest.approx(sum(range(4, 8)) - sum(range(4)))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            WindowAggregateComparisonClaim(0, 0, 0)
+        with pytest.raises(ValueError):
+            WindowAggregateComparisonClaim(-1, 0, 2)
+
+    def test_is_linear(self):
+        assert WindowAggregateComparisonClaim(4, 0, 4).is_linear()
+
+
+class TestSumClaim:
+    def test_evaluate(self):
+        claim = SumClaim([0, 2, 4])
+        assert claim.evaluate([1.0, 9.0, 2.0, 9.0, 3.0]) == pytest.approx(6.0)
+
+    def test_duplicates_removed(self):
+        claim = SumClaim([1, 1, 2])
+        assert claim.indices == [1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SumClaim([])
+
+
+class TestThresholdClaim:
+    def test_less_than(self):
+        claim = ThresholdClaim(SumClaim([0, 1]), threshold=5.0, op="<")
+        assert claim.evaluate([1.0, 2.0]) == 1.0
+        assert claim.evaluate([3.0, 3.0]) == 0.0
+
+    def test_greater_equal(self):
+        claim = ThresholdClaim(SumClaim([0]), threshold=2.0, op=">=")
+        assert claim.evaluate([2.0]) == 1.0
+        assert claim.evaluate([1.9]) == 0.0
+
+    def test_referenced_indices_delegates(self):
+        claim = ThresholdClaim(WindowSumClaim(2, 2), threshold=1.0)
+        assert claim.referenced_indices == frozenset({2, 3})
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            ThresholdClaim(SumClaim([0]), threshold=1.0, op="!=")
+
+    def test_is_not_linear(self):
+        claim = ThresholdClaim(SumClaim([0]), threshold=1.0)
+        assert not claim.is_linear()
+        with pytest.raises(TypeError):
+            claim.weights(3)
+
+    def test_example3_indicator(self):
+        # Example 3: f(X) = 1[X1 + X2 + X3 < 3]
+        claim = ThresholdClaim(SumClaim([0, 1, 2]), threshold=3.0, op="<")
+        assert claim.evaluate([1.0, 1.0, 1.0]) == 0.0
+        assert claim.evaluate([1.0, 1.0, 0.0]) == 1.0
+
+    def test_description(self):
+        claim = ThresholdClaim(SumClaim([0]), threshold=3.0, op="<")
+        assert "<" in claim.description

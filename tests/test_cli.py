@@ -1,0 +1,62 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_is_default(self):
+        parser = build_parser()
+        args = parser.parse_args([])
+        assert args.command is None
+
+    def test_figure1_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--dataset", "cdc_firearms", "--budgets", "0.1", "0.2"])
+        assert args.dataset == "cdc_firearms"
+        assert args.budgets == [0.1, 0.2]
+
+    def test_figure3_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3"])
+        assert args.generator == "URx"
+        assert args.gamma == 200.0
+
+    def test_invalid_dataset_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure1", "--dataset", "nope"])
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "figure12" in out
+
+    def test_no_command_prints_list(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_figure1_runs(self, capsys):
+        code = main(["figure1", "--dataset", "adoptions", "--budgets", "0.2", "0.5", "--no-random"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GreedyMinVar" in out
+        assert "Optimum" in out
+
+    def test_figure3_runs(self, capsys):
+        code = main(["figure3", "--generator", "URx", "--gamma", "150", "--budgets", "0.3"])
+        assert code == 0
+        assert "GreedyNaive" in capsys.readouterr().out
+
+    def test_figure11_runs(self, capsys):
+        code = main(["figure11", "--gamma", "0.5", "--budgets", "0.3", "--no-opt"])
+        assert code == 0
+        assert "GreedyDep" in capsys.readouterr().out
+
+    def test_counters_runs(self, capsys):
+        code = main(["counters", "--dataset", "cdc_firearms", "--seed", "2"])
+        assert code == 0
+        assert "GreedyMaxPr" in capsys.readouterr().out

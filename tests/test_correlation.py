@@ -1,0 +1,153 @@
+"""Unit tests for repro.uncertainty.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.correlation import (
+    GaussianWorldModel,
+    conditional_covariance,
+    decaying_covariance,
+)
+
+
+class TestDecayingCovariance:
+    def test_zero_gamma_is_diagonal(self):
+        cov = decaying_covariance([1.0, 2.0, 3.0], gamma=0.0)
+        assert cov == pytest.approx(np.diag([1.0, 4.0, 9.0]))
+
+    def test_diagonal_is_variance(self):
+        cov = decaying_covariance([2.0, 3.0], gamma=0.5)
+        assert cov[0, 0] == pytest.approx(4.0)
+        assert cov[1, 1] == pytest.approx(9.0)
+
+    def test_off_diagonal_decay(self):
+        cov = decaying_covariance([1.0, 1.0, 1.0], gamma=0.5)
+        assert cov[0, 1] == pytest.approx(0.5)
+        assert cov[0, 2] == pytest.approx(0.25)
+
+    def test_symmetric(self):
+        cov = decaying_covariance([1.0, 2.0, 3.0, 4.0], gamma=0.7)
+        assert cov == pytest.approx(cov.T)
+
+    def test_positive_semidefinite(self):
+        cov = decaying_covariance(np.linspace(1, 5, 10), gamma=0.9)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert np.all(eigenvalues > -1e-9)
+
+    def test_rejects_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            decaying_covariance([1.0], gamma=1.5)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            decaying_covariance([-1.0], gamma=0.5)
+
+    def test_gamma_one_is_fully_correlated(self):
+        cov = decaying_covariance([2.0, 3.0], gamma=1.0)
+        assert cov[0, 1] == pytest.approx(6.0)
+
+
+class TestConditionalCovariance:
+    def test_independent_conditioning_removes_rows(self):
+        cov = np.diag([1.0, 4.0, 9.0])
+        conditional = conditional_covariance(cov, observed=[1])
+        assert conditional == pytest.approx(np.diag([1.0, 9.0]))
+
+    def test_no_observation_returns_original(self):
+        cov = decaying_covariance([1.0, 2.0], gamma=0.5)
+        assert conditional_covariance(cov, []) == pytest.approx(cov)
+
+    def test_all_observed_returns_empty(self):
+        cov = np.eye(3)
+        conditional = conditional_covariance(cov, [0, 1, 2])
+        assert conditional.shape == (0, 0)
+
+    def test_correlated_conditioning_reduces_variance(self):
+        cov = decaying_covariance([1.0, 1.0], gamma=0.8)
+        conditional = conditional_covariance(cov, [0])
+        # Var[X2 | X1] = 1 - 0.8^2 = 0.36
+        assert conditional[0, 0] == pytest.approx(1.0 - 0.64)
+
+    def test_conditional_variance_never_exceeds_marginal(self):
+        cov = decaying_covariance([1.0, 2.0, 3.0, 1.5], gamma=0.6)
+        conditional = conditional_covariance(cov, [0, 2])
+        marginal = cov[np.ix_([1, 3], [1, 3])]
+        assert np.all(np.diag(conditional) <= np.diag(marginal) + 1e-12)
+
+
+class TestGaussianWorldModel:
+    def test_rejects_non_square_covariance(self):
+        with pytest.raises(ValueError):
+            GaussianWorldModel([0.0, 0.0], np.zeros((2, 3)))
+
+    def test_rejects_asymmetric_covariance(self):
+        cov = np.array([[1.0, 0.5], [0.2, 1.0]])
+        with pytest.raises(ValueError):
+            GaussianWorldModel([0.0, 0.0], cov)
+
+    def test_rejects_negative_definite(self):
+        cov = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(ValueError):
+            GaussianWorldModel([0.0, 0.0], cov)
+
+    def test_independent_constructor(self):
+        model = GaussianWorldModel.independent([1.0, 2.0], [3.0, 4.0])
+        assert model.covariance == pytest.approx(np.diag([9.0, 16.0]))
+
+    def test_from_database(self, normal_database):
+        model = GaussianWorldModel.from_database(normal_database, gamma=0.0)
+        assert model.size == len(normal_database)
+        assert model.means == pytest.approx(normal_database.current_values)
+        assert np.diag(model.covariance) == pytest.approx(normal_database.variances)
+
+    def test_from_database_centered_at_means(self, normal_database):
+        shifted = normal_database.with_current_values(normal_database.current_values + 5.0)
+        model = GaussianWorldModel.from_database(shifted, centered_at_current=False)
+        assert model.means == pytest.approx(normal_database.means)
+
+    def test_variance_of_linear(self):
+        model = GaussianWorldModel.independent([0.0, 0.0], [1.0, 2.0])
+        assert model.variance_of_linear([1.0, 1.0]) == pytest.approx(5.0)
+        assert model.variance_of_linear([2.0, 0.0]) == pytest.approx(4.0)
+
+    def test_post_cleaning_variance_independent(self):
+        model = GaussianWorldModel.independent([0.0, 0.0, 0.0], [1.0, 2.0, 3.0])
+        w = [1.0, 1.0, 1.0]
+        assert model.post_cleaning_variance(w, []) == pytest.approx(14.0)
+        assert model.post_cleaning_variance(w, [2]) == pytest.approx(5.0)
+        assert model.post_cleaning_variance(w, [0, 1, 2]) == pytest.approx(0.0)
+
+    def test_post_cleaning_variance_correlated_uses_conditioning(self):
+        cov = decaying_covariance([1.0, 1.0], gamma=0.8)
+        model = GaussianWorldModel([0.0, 0.0], cov)
+        w = [0.0, 1.0]
+        # Cleaning x0 reduces the variance of x1 through the correlation.
+        assert model.post_cleaning_variance(w, [0]) == pytest.approx(0.36)
+
+    def test_surprise_probability_empty_selection_is_zero(self):
+        model = GaussianWorldModel.independent([0.0, 0.0], [1.0, 1.0])
+        assert model.surprise_probability([1.0, 1.0], [], threshold_drop=0.0) == 0.0
+
+    def test_surprise_probability_centered_is_half_at_zero_threshold(self):
+        model = GaussianWorldModel.independent([10.0, 20.0], [1.0, 1.0])
+        p = model.surprise_probability([1.0, 1.0], [0], threshold_drop=0.0,
+                                       current_values=[10.0, 20.0])
+        assert p == pytest.approx(0.5)
+
+    def test_surprise_probability_decreases_with_threshold(self):
+        model = GaussianWorldModel.independent([10.0], [2.0])
+        p0 = model.surprise_probability([1.0], [0], threshold_drop=0.0, current_values=[10.0])
+        p1 = model.surprise_probability([1.0], [0], threshold_drop=3.0, current_values=[10.0])
+        assert p1 < p0
+
+    def test_surprise_probability_mean_shift(self):
+        # The error model says the true value is lower than the current value,
+        # so redrawing it is very likely to produce a drop.
+        model = GaussianWorldModel.independent([5.0], [1.0])
+        p = model.surprise_probability([1.0], [0], threshold_drop=0.0, current_values=[10.0])
+        assert p > 0.99
+
+    def test_sample_shape(self, rng):
+        model = GaussianWorldModel.independent([0.0, 1.0], [1.0, 1.0])
+        assert model.sample(rng).shape == (2,)
+        assert model.sample(rng, size=5).shape == (5, 2)

@@ -1,0 +1,208 @@
+"""Unit tests for repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adoptions import ADOPTIONS_COUNTS, ADOPTIONS_YEARS, load_adoptions
+from repro.datasets.cdc import (
+    CDC_CAUSE_ESTIMATES,
+    CDC_FIREARM_ESTIMATES,
+    CDC_YEARS,
+    load_cdc_causes,
+    load_cdc_firearms,
+)
+from repro.datasets.costs import (
+    extreme_costs,
+    recency_decaying_costs,
+    uniform_costs,
+    unit_costs,
+)
+from repro.datasets.synthetic import (
+    SYNTHETIC_GENERATORS,
+    generate_lnx,
+    generate_smx,
+    generate_urx,
+)
+
+
+class TestCostGenerators:
+    def test_uniform_costs_in_range(self, rng):
+        costs = uniform_costs(100, 1.0, 10.0, rng)
+        assert len(costs) == 100
+        assert all(1.0 <= c <= 10.0 for c in costs)
+
+    def test_uniform_costs_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            uniform_costs(0, 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            uniform_costs(5, 0.0, 10.0, rng)
+
+    def test_recency_decaying_bands(self, rng):
+        costs = recency_decaying_costs(17, rng=rng)
+        assert len(costs) == 17
+        assert 195.0 <= costs[0] <= 200.0
+        assert 190.0 <= costs[1] <= 195.0
+        # Newer data is never more expensive than the oldest band.
+        assert costs[-1] < costs[0]
+        assert all(c > 0 for c in costs)
+
+    def test_recency_decaying_floor(self, rng):
+        costs = recency_decaying_costs(60, rng=rng)
+        assert min(costs) >= 5.0
+
+    def test_unit_costs(self):
+        assert unit_costs(4) == [1.0, 1.0, 1.0, 1.0]
+        with pytest.raises(ValueError):
+            unit_costs(0)
+
+    def test_extreme_costs_values(self, rng):
+        costs = extreme_costs(200, 1.0, 10.0, rng, p_high=0.5)
+        assert set(costs) <= {1.0, 10.0}
+        with pytest.raises(ValueError):
+            extreme_costs(10, 1.0, 10.0, rng, p_high=1.5)
+
+
+class TestAdoptions:
+    def test_series_length(self):
+        assert len(ADOPTIONS_YEARS) == 26
+        assert len(ADOPTIONS_COUNTS) == 26
+
+    def test_load_shapes(self):
+        db = load_adoptions()
+        assert len(db) == 26
+        assert db.all_normal()
+        assert db.names[0] == "adoptions_1989"
+        assert db.names[-1] == "adoptions_2014"
+
+    def test_error_model_bounds(self):
+        db = load_adoptions()
+        assert np.all(db.stds >= 1.0) and np.all(db.stds <= 50.0)
+        assert np.all(db.costs >= 1.0) and np.all(db.costs <= 100.0)
+
+    def test_current_values_match_series(self):
+        db = load_adoptions()
+        assert list(db.current_values) == ADOPTIONS_COUNTS
+
+    def test_normals_centered_at_current(self):
+        db = load_adoptions()
+        assert db.means == pytest.approx(db.current_values)
+
+    def test_reproducible(self):
+        a = load_adoptions(seed=7)
+        b = load_adoptions(seed=7)
+        assert a.stds == pytest.approx(b.stds)
+        assert a.costs == pytest.approx(b.costs)
+
+    def test_different_seeds_differ(self):
+        a = load_adoptions(seed=1)
+        b = load_adoptions(seed=2)
+        assert not np.allclose(a.stds, b.stds)
+
+    def test_mid_nineties_rise(self):
+        # The Giuliani claim needs adoptions to rise sharply into the mid-90s.
+        db = load_adoptions()
+        values = db.current_values
+        assert values[8] > values[0]  # 1997 > 1989
+        assert values[-1] < values[8]  # 2014 < 1997
+
+
+class TestCDC:
+    def test_firearms_shapes(self):
+        db = load_cdc_firearms()
+        assert len(db) == 17
+        assert db.all_normal()
+        assert db.names[0] == "firearms_2001"
+        assert db.names[-1] == "firearms_2017"
+
+    def test_firearms_values_match_table(self):
+        db = load_cdc_firearms()
+        estimates = [e for e, _ in CDC_FIREARM_ESTIMATES]
+        assert list(db.current_values) == estimates
+
+    def test_firearms_relative_errors_reasonable(self):
+        db = load_cdc_firearms()
+        relative = db.stds / db.current_values
+        assert np.all(relative > 0.03) and np.all(relative < 0.15)
+
+    def test_firearms_costs_decay_with_recency(self):
+        db = load_cdc_firearms()
+        costs = db.costs
+        assert costs[0] > costs[-1]
+        assert 195.0 <= costs[0] <= 200.0
+
+    def test_causes_shapes(self):
+        db = load_cdc_causes()
+        assert len(db) == 68
+        assert db.all_normal()
+
+    def test_causes_year_major_layout(self):
+        db = load_cdc_causes()
+        # First four objects are the four causes of 2001.
+        names = db.names[:4]
+        assert all(name.endswith("2001") for name in names)
+        assert db.names[4].endswith("2002")
+
+    def test_causes_table_consistency(self):
+        assert len(CDC_YEARS) == 17
+        for cause, series in CDC_CAUSE_ESTIMATES.items():
+            assert len(series) == 17
+            assert all(std > 0 for _, std in series)
+
+    def test_reproducible(self):
+        assert load_cdc_firearms(seed=11).costs == pytest.approx(load_cdc_firearms(seed=11).costs)
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("name,generator", sorted(SYNTHETIC_GENERATORS.items()))
+    def test_basic_shape(self, name, generator):
+        db = generator(n=30, seed=1)
+        assert len(db) == 30
+        assert db.all_discrete()
+        assert np.all(db.costs >= 1.0) and np.all(db.costs <= 10.0)
+
+    @pytest.mark.parametrize("name,generator", sorted(SYNTHETIC_GENERATORS.items()))
+    def test_support_sizes_bounded(self, name, generator):
+        db = generator(n=50, seed=2)
+        assert 1 <= db.max_support_size() <= 6
+
+    @pytest.mark.parametrize("name,generator", sorted(SYNTHETIC_GENERATORS.items()))
+    def test_current_values_in_support(self, name, generator):
+        db = generator(n=20, seed=3)
+        for obj in db:
+            assert obj.distribution.pmf(obj.current_value) > 0.0
+
+    @pytest.mark.parametrize("name,generator", sorted(SYNTHETIC_GENERATORS.items()))
+    def test_reproducible(self, name, generator):
+        a = generator(n=15, seed=9)
+        b = generator(n=15, seed=9)
+        assert list(a.current_values) == list(b.current_values)
+        assert a.costs == pytest.approx(b.costs)
+
+    def test_urx_values_in_range(self):
+        db = generate_urx(n=40, seed=4)
+        for obj in db:
+            assert np.all(obj.distribution.values >= 1.0)
+            assert np.all(obj.distribution.values <= 100.0)
+
+    def test_lnx_values_are_small_and_positive(self):
+        db = generate_lnx(n=40, seed=4)
+        for obj in db:
+            assert np.all(obj.distribution.values > 0.0)
+        # Log-normal with mu=0, sigma<=1 concentrates well below 100.
+        assert max(obj.distribution.values.max() for obj in db) < 30.0
+
+    def test_smx_probabilities_bimodal(self):
+        db = generate_smx(n=60, seed=5)
+        # Raw weights are low (<0.1) or high (>=0.9); after normalization the
+        # ratio between the largest and smallest probability within an object
+        # with both kinds should be large for at least some objects.
+        ratios = []
+        for obj in db:
+            probabilities = obj.distribution.probabilities
+            if obj.distribution.support_size >= 2:
+                ratios.append(probabilities.max() / probabilities.min())
+        assert max(ratios) > 5.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            generate_urx(n=0)

@@ -1,0 +1,245 @@
+"""Unit tests for repro.uncertainty.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.distributions import (
+    DiscreteDistribution,
+    NormalSpec,
+    discretize_normal,
+)
+
+
+class TestDiscreteDistributionConstruction:
+    def test_probabilities_are_normalized(self):
+        d = DiscreteDistribution([1.0, 2.0], [2.0, 6.0])
+        assert d.pmf(1.0) == pytest.approx(0.25)
+        assert d.pmf(2.0) == pytest.approx(0.75)
+
+    def test_values_sorted_ascending(self):
+        d = DiscreteDistribution([3.0, 1.0, 2.0], [1.0, 1.0, 1.0])
+        assert list(d.values) == [1.0, 2.0, 3.0]
+
+    def test_duplicate_values_are_merged(self):
+        d = DiscreteDistribution([1.0, 1.0, 2.0], [1.0, 1.0, 2.0])
+        assert d.support_size == 2
+        assert d.pmf(1.0) == pytest.approx(0.5)
+        assert d.pmf(2.0) == pytest.approx(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1.0, 2.0], [1.0])
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([], [])
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1.0, 2.0], [-0.5, 1.5])
+
+    def test_rejects_all_zero_probabilities(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1.0, 2.0], [0.0, 0.0])
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([[1.0, 2.0]], [[0.5, 0.5]])
+
+
+class TestDiscreteDistributionConstructors:
+    def test_point_mass(self):
+        d = DiscreteDistribution.point_mass(4.2)
+        assert d.support_size == 1
+        assert d.mean == pytest.approx(4.2)
+        assert d.variance == pytest.approx(0.0)
+        assert d.is_certain()
+
+    def test_uniform(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0, 4.0])
+        assert all(p == pytest.approx(0.25) for p in d.probabilities)
+        assert d.mean == pytest.approx(2.5)
+
+    def test_bernoulli_moments(self):
+        d = DiscreteDistribution.bernoulli(0.3)
+        assert d.mean == pytest.approx(0.3)
+        assert d.variance == pytest.approx(0.3 * 0.7)
+
+    def test_bernoulli_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.bernoulli(1.5)
+
+
+class TestDiscreteDistributionMoments:
+    def test_mean_and_variance_example5_x1(self):
+        # Example 5: X1 uniform over {0, 1/2, 1, 3/2, 2} has variance 1/2.
+        d = DiscreteDistribution.uniform([0.0, 0.5, 1.0, 1.5, 2.0])
+        assert d.mean == pytest.approx(1.0)
+        assert d.variance == pytest.approx(0.5)
+
+    def test_mean_and_variance_example5_x2(self):
+        # Example 5: X2 uniform over {1/3, 1, 5/3} has variance 8/27.
+        d = DiscreteDistribution.uniform([1.0 / 3.0, 1.0, 5.0 / 3.0])
+        assert d.mean == pytest.approx(1.0)
+        assert d.variance == pytest.approx(8.0 / 27.0)
+
+    def test_std_is_sqrt_of_variance(self):
+        d = DiscreteDistribution([0.0, 10.0], [0.5, 0.5])
+        assert d.std == pytest.approx(math.sqrt(d.variance))
+
+    def test_variance_nonnegative_for_degenerate(self):
+        d = DiscreteDistribution.point_mass(1e9)
+        assert d.variance >= 0.0
+
+
+class TestDiscreteDistributionQueries:
+    def test_pmf_of_missing_value_is_zero(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0])
+        assert d.pmf(3.0) == 0.0
+
+    def test_cdf(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0, 4.0])
+        assert d.cdf(2.0) == pytest.approx(0.5)
+        assert d.cdf(0.5) == pytest.approx(0.0)
+        assert d.cdf(4.0) == pytest.approx(1.0)
+
+    def test_prob_less_than_is_strict(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0, 4.0])
+        assert d.prob_less_than(2.0) == pytest.approx(0.25)
+        assert d.prob_less_than(2.5) == pytest.approx(0.5)
+
+    def test_expectation_of_function(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0])
+        assert d.expectation_of(lambda x: x * x) == pytest.approx((1 + 4 + 9) / 3)
+
+    def test_variance_of_function(self):
+        d = DiscreteDistribution.bernoulli(0.5)
+        # Indicator of {1} has variance 0.25.
+        assert d.variance_of(lambda x: 1.0 if x > 0.5 else 0.0) == pytest.approx(0.25)
+
+    def test_variance_of_constant_function_is_zero(self):
+        d = DiscreteDistribution.uniform([1.0, 5.0, 9.0])
+        assert d.variance_of(lambda x: 7.0) == pytest.approx(0.0)
+
+    def test_iteration_yields_value_probability_pairs(self):
+        d = DiscreteDistribution([1.0, 2.0], [0.25, 0.75])
+        pairs = list(d)
+        assert pairs[0] == (1.0, 0.25)
+        assert pairs[1] == (2.0, 0.75)
+
+    def test_len_matches_support_size(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0])
+        assert len(d) == 3
+
+    def test_equality_and_hash(self):
+        a = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        b = DiscreteDistribution.uniform([1.0, 2.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = DiscreteDistribution.uniform([1.0, 2.0])
+        b = DiscreteDistribution.uniform([1.0, 3.0])
+        assert a != b
+
+    def test_repr_mentions_support(self):
+        d = DiscreteDistribution.uniform([1.0, 2.0])
+        assert "DiscreteDistribution" in repr(d)
+
+
+class TestDiscreteDistributionSampling:
+    def test_sample_scalar(self, rng):
+        d = DiscreteDistribution.uniform([1.0, 2.0, 3.0])
+        value = d.sample(rng)
+        assert value in {1.0, 2.0, 3.0}
+
+    def test_sample_array(self, rng):
+        d = DiscreteDistribution.uniform([1.0, 2.0])
+        draws = d.sample(rng, size=100)
+        assert draws.shape == (100,)
+        assert set(np.unique(draws)) <= {1.0, 2.0}
+
+    def test_sample_respects_probabilities(self, rng):
+        d = DiscreteDistribution([0.0, 1.0], [0.9, 0.1])
+        draws = d.sample(rng, size=5000)
+        assert np.mean(draws) == pytest.approx(0.1, abs=0.03)
+
+
+class TestNormalSpec:
+    def test_variance_is_std_squared(self):
+        spec = NormalSpec(mean=10.0, std=3.0)
+        assert spec.variance == pytest.approx(9.0)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            NormalSpec(mean=0.0, std=-1.0)
+
+    def test_prob_less_than_median(self):
+        spec = NormalSpec(mean=5.0, std=2.0)
+        assert spec.prob_less_than(5.0) == pytest.approx(0.5)
+
+    def test_prob_less_than_degenerate(self):
+        spec = NormalSpec(mean=5.0, std=0.0)
+        assert spec.prob_less_than(6.0) == 1.0
+        assert spec.prob_less_than(4.0) == 0.0
+
+    def test_sample_scalar_and_array(self, rng):
+        spec = NormalSpec(mean=0.0, std=1.0)
+        assert isinstance(spec.sample(rng), float)
+        assert spec.sample(rng, size=10).shape == (10,)
+
+    def test_sample_mean_close_to_spec(self, rng):
+        spec = NormalSpec(mean=50.0, std=5.0)
+        draws = spec.sample(rng, size=4000)
+        assert np.mean(draws) == pytest.approx(50.0, abs=0.5)
+
+    def test_discretize_shortcut(self):
+        spec = NormalSpec(mean=10.0, std=1.0)
+        d = spec.discretize(points=5)
+        assert d.support_size == 5
+
+
+class TestDiscretizeNormal:
+    def test_quantile_preserves_mean(self):
+        d = discretize_normal(100.0, 10.0, points=8)
+        assert d.mean == pytest.approx(100.0, rel=1e-6)
+
+    def test_quantile_variance_close(self):
+        d = discretize_normal(0.0, 10.0, points=20)
+        # Quantile discretization slightly understates the variance; with 20
+        # points it should be within ~10%.
+        assert d.variance == pytest.approx(100.0, rel=0.12)
+
+    def test_zero_std_gives_point_mass(self):
+        d = discretize_normal(7.0, 0.0, points=6)
+        assert d.is_certain()
+        assert d.mean == pytest.approx(7.0)
+
+    def test_number_of_points(self):
+        d = discretize_normal(0.0, 1.0, points=4)
+        assert d.support_size == 4
+
+    def test_grid_method(self):
+        d = discretize_normal(0.0, 1.0, points=7, method="grid")
+        assert d.support_size == 7
+        assert d.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_grid_symmetric_probabilities(self):
+        d = discretize_normal(0.0, 1.0, points=5, method="grid")
+        probabilities = d.probabilities
+        assert probabilities[0] == pytest.approx(probabilities[-1])
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            discretize_normal(0.0, 1.0, points=4, method="bogus")
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            discretize_normal(0.0, 1.0, points=0)
+
+    def test_single_point_is_the_mean(self):
+        d = discretize_normal(42.0, 3.0, points=1)
+        assert d.support_size == 1
+        assert d.mean == pytest.approx(42.0, rel=1e-9)

@@ -1,0 +1,263 @@
+"""Unit tests for the experiment harness (sweeps, scenarios, reporting, efficiency)."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim, WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Bias, Duplicity
+from repro.claims.strength import lower_is_stronger
+from repro.core.expected_variance import DecomposedEVCalculator, linear_expected_variance
+from repro.core.greedy import GreedyMaxPr, GreedyMinVar, GreedyNaive
+from repro.core.modular import OptimumModularMinVar
+from repro.core.surprise import surprise_probability_normal_linear
+from repro.experiments.efficiency import time_budget_scaling, time_size_scaling
+from repro.experiments.reporting import format_rows, format_series_table
+from repro.experiments.scenarios import (
+    measure_moments,
+    run_competing_objectives,
+    run_counter_discovery,
+    run_in_action_experiment,
+)
+from repro.experiments.sweeps import run_budget_sweep
+from repro.experiments.workloads import uniqueness_workload
+from repro.datasets.synthetic import generate_urx
+
+
+@pytest.fixture
+def urx_uniqueness():
+    db = generate_urx(n=16, seed=3)
+    workload = uniqueness_workload(db, window_width=4, gamma=180.0)
+    calculator = DecomposedEVCalculator(workload.database, workload.query_function)
+    return workload, calculator
+
+
+class TestRunBudgetSweep:
+    def test_series_shapes(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {
+            "GreedyNaive": GreedyNaive(workload.query_function),
+            "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
+        }
+        result = run_budget_sweep(
+            workload.database,
+            algorithms,
+            calculator.expected_variance,
+            budget_fractions=(0.25, 0.5, 1.0),
+        )
+        assert result.budget_fractions == [0.25, 0.5, 1.0]
+        assert set(result.series) == {"GreedyNaive", "GreedyMinVar"}
+        assert all(len(values) == 3 for values in result.series.values())
+
+    def test_objective_non_increasing_in_budget(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {"GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator)}
+        result = run_budget_sweep(
+            workload.database,
+            algorithms,
+            calculator.expected_variance,
+            budget_fractions=(0.2, 0.5, 1.0),
+        )
+        series = result.series["GreedyMinVar"]
+        assert series[0] >= series[1] - 1e-9 >= series[2] - 2e-9
+
+    def test_full_budget_removes_all_uncertainty(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {"GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator)}
+        result = run_budget_sweep(
+            workload.database, algorithms, calculator.expected_variance, budget_fractions=(1.0,)
+        )
+        assert result.series["GreedyMinVar"][0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_as_rows_and_best_algorithm(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {
+            "GreedyNaive": GreedyNaive(workload.query_function),
+            "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
+        }
+        result = run_budget_sweep(
+            workload.database, algorithms, calculator.expected_variance, budget_fractions=(0.5,)
+        )
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert {"algorithm", "budget_fraction", "objective"} <= set(rows[0])
+        assert result.best_algorithm_at(0.5) in algorithms
+
+
+class TestMeasureMoments:
+    def test_certain_database_has_zero_std(self, urx_uniqueness):
+        workload, _ = urx_uniqueness
+        db = workload.database
+        cleaned = db.cleaned({i: db[i].current_value for i in range(len(db))})
+        mean, std = measure_moments(cleaned, workload.query_function)
+        assert std == pytest.approx(0.0, abs=1e-9)
+        assert mean == pytest.approx(
+            workload.query_function.evaluate(db.current_values)
+        )
+
+    def test_uncertain_database_has_positive_std(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        mean, std = measure_moments(workload.database, workload.query_function)
+        assert std == pytest.approx(np.sqrt(calculator.expected_variance([])), abs=1e-9)
+        assert 0.0 <= mean <= len(workload.perturbations)
+
+
+class TestInActionExperiment:
+    def test_estimates_tighten_with_budget(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {"GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator)}
+        result = run_in_action_experiment(
+            workload.database,
+            workload.query_function,
+            algorithms,
+            budget_fractions=(0.0, 0.5, 1.0),
+            seed=1,
+        )
+        stds = result.stds["GreedyMinVar"]
+        assert stds[-1] == pytest.approx(0.0, abs=1e-9)
+        assert stds[0] >= stds[-1]
+
+    def test_full_cleaning_recovers_truth(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {"GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator)}
+        result = run_in_action_experiment(
+            workload.database,
+            workload.query_function,
+            algorithms,
+            budget_fractions=(1.0,),
+            seed=2,
+        )
+        assert result.means["GreedyMinVar"][0] == pytest.approx(result.true_value)
+
+    def test_as_rows(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {"GreedyNaive": GreedyNaive(workload.query_function)}
+        result = run_in_action_experiment(
+            workload.database, workload.query_function, algorithms, budget_fractions=(0.5,), seed=0
+        )
+        rows = result.as_rows()
+        assert len(rows) == 1
+        assert rows[0]["algorithm"] == "GreedyNaive"
+
+    def test_explicit_ground_truth(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        truth = workload.database.current_values
+        algorithms = {"GreedyNaive": GreedyNaive(workload.query_function)}
+        result = run_in_action_experiment(
+            workload.database,
+            workload.query_function,
+            algorithms,
+            budget_fractions=(1.0,),
+            ground_truth=truth,
+        )
+        assert result.true_value == pytest.approx(
+            workload.query_function.evaluate(truth)
+        )
+
+
+class TestCounterDiscovery:
+    def test_records_budget_fraction(self, urx_uniqueness):
+        workload, _ = urx_uniqueness
+        db = workload.database
+        bias = Bias(workload.perturbations, db.current_values)
+        truth = db.current_values * 0.5  # every window drops, counters everywhere
+
+        def counter_found(values):
+            return bool(np.sum(values[:4]) < np.sum(db.current_values[-4:]))
+
+        result = run_counter_discovery(
+            db, counter_found, {"GreedyMaxPr": GreedyMaxPr(bias)}, truth
+        )
+        assert result.counter_exists_in_truth
+        fraction = result.budget_fraction_used["GreedyMaxPr"]
+        assert fraction is None or 0.0 < fraction <= 1.0
+
+    def test_no_counter_in_truth(self, urx_uniqueness):
+        workload, _ = urx_uniqueness
+        db = workload.database
+        bias = Bias(workload.perturbations, db.current_values)
+        result = run_counter_discovery(
+            db, lambda values: False, {"GreedyNaive": GreedyNaive(bias)}, db.current_values
+        )
+        assert not result.counter_exists_in_truth
+        assert result.budget_fraction_used["GreedyNaive"] is None
+        assert result.as_rows()[0]["values_cleaned"] is None
+
+
+class TestCompetingObjectives:
+    def test_each_algorithm_wins_its_own_objective(self, normal_database):
+        db = normal_database
+        # Shift current values away from the means to break alignment.
+        db = db.with_current_values(db.means + np.array([8.0, -12.0, 3.0, 15.0, -5.0]))
+        original = WindowSumClaim(3, 2)
+        ps = PerturbationSet(original, (WindowSumClaim(0, 2), WindowSumClaim(2, 2)), (1, 1))
+        bias = Bias(ps, db.current_values)
+        weights = bias.weights(len(db))
+        tau = 5.0
+
+        result = run_competing_objectives(
+            db,
+            minvar_algorithm=OptimumModularMinVar(bias),
+            maxpr_algorithm=GreedyMaxPr(bias, tau=tau),
+            evaluate_variance=lambda T: linear_expected_variance(db, weights, T),
+            evaluate_probability=lambda T: surprise_probability_normal_linear(
+                db, weights, T, tau=tau
+            ),
+            budget_fractions=(0.6,),
+        )
+        assert result.expected_variance["MinVar"][0] <= result.expected_variance["MaxPr"][0] + 1e-9
+        assert (
+            result.counter_probability["MaxPr"][0]
+            >= result.counter_probability["MinVar"][0] - 1e-9
+        )
+
+    def test_as_rows(self, normal_database):
+        original = WindowSumClaim(3, 2)
+        ps = PerturbationSet(original, (WindowSumClaim(0, 2),), (1.0,))
+        bias = Bias(ps, normal_database.current_values)
+        weights = bias.weights(len(normal_database))
+        result = run_competing_objectives(
+            normal_database,
+            OptimumModularMinVar(bias),
+            GreedyMaxPr(bias, tau=1.0),
+            lambda T: linear_expected_variance(normal_database, weights, T),
+            lambda T: surprise_probability_normal_linear(normal_database, weights, T, tau=1.0),
+            budget_fractions=(0.3, 0.7),
+        )
+        rows = result.as_rows()
+        assert len(rows) == 4
+        assert {"algorithm", "budget_fraction", "expected_variance", "counter_probability"} <= set(
+            rows[0]
+        )
+
+
+class TestEfficiencyHarness:
+    def test_budget_scaling_rows(self):
+        result = time_budget_scaling(n=60, budget_fractions=(0.1, 0.3), gamma=150.0)
+        assert len(result.seconds) == 2
+        assert all(s >= 0.0 for s in result.seconds)
+        rows = result.as_rows()
+        assert rows[0]["n_objects"] == 60
+
+    def test_size_scaling_rows(self):
+        result = time_size_scaling(sizes=(40, 80), budget=30.0, gamma=150.0)
+        assert len(result.seconds) == 2
+        assert result.parameter_values == [40.0, 80.0]
+
+
+class TestReporting:
+    def test_format_series_table(self):
+        text = format_series_table(
+            [0.1, 0.2], {"A": [1.0, 2.0], "B": [3.0, 4.0]}, title="demo"
+        )
+        assert "demo" in text
+        assert "A" in text and "B" in text
+        assert "0.10" in text
+
+    def test_format_rows(self):
+        text = format_rows([{"x": 1, "y": 2.5}, {"x": 3, "y": 4.0}])
+        assert "x" in text and "y" in text
+        assert "2.5" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([], title="nothing") == "nothing"

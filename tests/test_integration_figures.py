@@ -1,0 +1,205 @@
+"""Integration tests: the per-figure entry points reproduce the paper's comparison shapes.
+
+These run the same code paths as the benchmark harness, on reduced budget
+grids so the whole file stays fast.  What is asserted is the *shape* of each
+result (who wins, monotonicity, plateaus), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+BUDGETS = (0.2, 0.5, 0.8)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def adoptions_sweep(self):
+        return figures.figure1_fairness(
+            "adoptions", budget_fractions=BUDGETS, include_random=True, random_repeats=5
+        )
+
+    def test_all_algorithms_present(self, adoptions_sweep):
+        assert set(adoptions_sweep.series) == {
+            "Random",
+            "GreedyNaiveCostBlind",
+            "GreedyNaive",
+            "GreedyMinVar",
+            "Optimum",
+        }
+
+    def test_greedy_minvar_matches_optimum(self, adoptions_sweep):
+        for minvar, optimum in zip(
+            adoptions_sweep.series["GreedyMinVar"], adoptions_sweep.series["Optimum"]
+        ):
+            assert minvar <= optimum * 1.15 + 1e-9
+
+    def test_greedy_minvar_beats_naive_baselines(self, adoptions_sweep):
+        for name in ("GreedyNaive", "GreedyNaiveCostBlind", "Random"):
+            for minvar, other in zip(
+                adoptions_sweep.series["GreedyMinVar"], adoptions_sweep.series[name]
+            ):
+                assert minvar <= other + 1e-9
+
+    def test_variance_decreases_with_budget(self, adoptions_sweep):
+        series = adoptions_sweep.series["Optimum"]
+        assert series[0] >= series[1] >= series[2]
+
+    def test_cdc_firearms_variant(self):
+        sweep = figures.figure1_fairness(
+            "cdc_firearms", budget_fractions=(0.3, 0.7), include_random=False
+        )
+        assert sweep.series["GreedyMinVar"][0] <= sweep.series["GreedyNaive"][0] + 1e-9
+
+    def test_cdc_causes_variant(self):
+        sweep = figures.figure1_fairness(
+            "cdc_causes", budget_fractions=(0.3,), include_random=False
+        )
+        assert sweep.series["GreedyMinVar"][0] <= sweep.series["GreedyNaiveCostBlind"][0] + 1e-9
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            figures.figure1_fairness("bogus")
+
+
+class TestFigure2To5:
+    def test_cdc_firearms_uniqueness(self):
+        sweep = figures.figure2_uniqueness_cdc("firearms", budget_fractions=BUDGETS)
+        assert set(sweep.series) == {"GreedyNaive", "GreedyMinVar", "Best"}
+        for minvar, naive in zip(sweep.series["GreedyMinVar"], sweep.series["GreedyNaive"]):
+            assert minvar <= naive + 1e-9
+
+    def test_urx_uniqueness_greedy_minvar_wins(self):
+        sweep = figures.figure3to5_uniqueness_synthetic(
+            "URx", gamma=200.0, budget_fractions=BUDGETS
+        )
+        for minvar, naive in zip(sweep.series["GreedyMinVar"], sweep.series["GreedyNaive"]):
+            assert minvar <= naive + 1e-9
+
+    def test_lnx_generator(self):
+        sweep = figures.figure3to5_uniqueness_synthetic(
+            "LNx", gamma=4.0, budget_fractions=(0.4,), include_best=False
+        )
+        assert set(sweep.series) == {"GreedyNaive", "GreedyMinVar"}
+
+    def test_initial_uncertainty_peaks_midrange(self):
+        # The paper's observation: the no-cleaning variance is highest when
+        # Gamma sits in the middle of the achievable window sums.
+        variances = {}
+        for gamma in (50.0, 200.0, 400.0):
+            sweep = figures.figure3to5_uniqueness_synthetic(
+                "URx", gamma=gamma, budget_fractions=(0.0,), include_best=False
+            )
+            variances[gamma] = sweep.series["GreedyNaive"][0]
+        assert variances[200.0] >= variances[50.0]
+        assert variances[200.0] >= variances[400.0]
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError):
+            figures.figure3to5_uniqueness_synthetic("XYZ")
+
+    def test_figure6_improvement_rows(self):
+        rows = figures.figure6_absolute_improvement(
+            generator="URx", gammas=(150.0, 250.0), budget_fractions=(0.3, 0.6)
+        )
+        assert len(rows) == 4
+        assert {"gamma", "budget_fraction", "initial_variance", "absolute_improvement"} <= set(
+            rows[0]
+        )
+        # GreedyMinVar never does worse than GreedyNaive.
+        assert all(row["absolute_improvement"] >= -1e-9 for row in rows)
+
+
+class TestFigure7:
+    def test_urx_robustness(self):
+        sweep = figures.figure7_robustness(
+            "URx", gamma=100.0, n=40, budget_fractions=(0.3, 0.7), include_best=False
+        )
+        for minvar, naive in zip(sweep.series["GreedyMinVar"], sweep.series["GreedyNaive"]):
+            assert minvar <= naive + 1e-9
+
+    def test_cdc_firearms_robustness(self):
+        sweep = figures.figure7_robustness(
+            "cdc_firearms", budget_fractions=(0.5,), include_best=False
+        )
+        assert sweep.series["GreedyMinVar"][0] <= sweep.series["GreedyNaive"][0] + 1e-9
+
+
+class TestFigures8And9:
+    def test_figure9_estimates_converge(self):
+        result = figures.figure9_in_action_synthetic(
+            "URx", gamma=150.0, n=24, budget_fractions=(0.0, 1.0), include_best=False
+        )
+        for algorithm in result.stds:
+            assert result.stds[algorithm][-1] == pytest.approx(0.0, abs=1e-9)
+            assert result.means[algorithm][-1] == pytest.approx(result.true_value)
+
+    def test_figure9_minvar_std_not_worse(self):
+        result = figures.figure9_in_action_synthetic(
+            "URx", gamma=150.0, n=24, budget_fractions=(0.4,), include_best=False
+        )
+        assert (
+            result.stds["GreedyMinVar"][0] <= result.stds["GreedyNaive"][0] + 1e-9
+        )
+
+
+class TestCountersCaseStudy:
+    def test_cdc_firearms_scenario(self):
+        result = figures.counters_case_study("cdc_firearms", seed=2)
+        rows = result.as_rows()
+        assert {row["algorithm"] for row in rows} == {"GreedyMaxPr", "GreedyNaive"}
+        if result.counter_exists_in_truth:
+            maxpr = result.budget_fraction_used["GreedyMaxPr"]
+            assert maxpr is None or 0.0 < maxpr <= 1.0
+
+
+class TestFigure11:
+    def test_dependency_sweep_shapes(self):
+        sweep = figures.figure11_dependency(gamma=0.7, budget_fractions=(0.3,), include_opt=True)
+        opt = sweep.series["OPT"][0]
+        for name in ("GreedyMinVar", "Optimum", "GreedyDep", "GreedyNaive", "GreedyNaiveCostBlind"):
+            assert sweep.series[name][0] >= opt - 1e-6
+        # Objective-aware algorithms beat the naive ones.
+        assert sweep.series["GreedyMinVar"][0] <= sweep.series["GreedyNaive"][0] + 1e-9
+
+    def test_dependency_strength_rows(self):
+        rows = figures.figure11b_dependency_strength(
+            gammas=(0.0, 0.8), budget_fraction=0.3, include_opt=True
+        )
+        assert len(rows) == 6
+        by_gamma = {}
+        for row in rows:
+            by_gamma.setdefault(row["gamma"], {})[row["algorithm"]] = row[
+                "variance_after_cleaning"
+            ]
+        # With no dependency, the dependency-unaware GreedyMinVar is optimal.
+        assert by_gamma[0.0]["GreedyMinVar"] == pytest.approx(by_gamma[0.0]["OPT"], rel=1e-6)
+        # OPT is never beaten.
+        for gamma_rows in by_gamma.values():
+            assert gamma_rows["OPT"] <= min(gamma_rows.values()) + 1e-6
+
+
+class TestFigure12:
+    def test_each_strategy_wins_its_objective(self):
+        result = figures.figure12_competing_objectives(
+            budget_fractions=(0.3, 0.6), repeats=3, seed=4
+        )
+        for i in range(2):
+            assert (
+                result.expected_variance["MinVar"][i]
+                <= result.expected_variance["MaxPr"][i] + 1e-9
+            )
+            assert (
+                result.counter_probability["MaxPr"][i]
+                >= result.counter_probability["MinVar"][i] - 1e-9
+            )
+
+    def test_maxpr_plateaus_at_high_budget(self):
+        result = figures.figure12_competing_objectives(
+            budget_fractions=(0.6, 0.8, 1.0), repeats=2, seed=5
+        )
+        probabilities = result.counter_probability["MaxPr"]
+        # Once GreedyMaxPr stops cleaning, the probability stops changing.
+        assert probabilities[-1] == pytest.approx(probabilities[-2], rel=0.05, abs=1e-3)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.modular (Lemmas 3.1-3.3 solvers)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim, SumClaim, ThresholdClaim
+from repro.core.expected_variance import linear_expected_variance
+from repro.core.modular import (
+    OptimumModularMaxPr,
+    OptimumModularMinVar,
+    modular_maxpr_weights,
+    modular_minvar_weights,
+)
+from repro.core.surprise import surprise_probability_normal_linear
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+
+class TestModularWeights:
+    def test_minvar_weights_formula(self, small_discrete_database):
+        claim = LinearClaim.from_vector([1.0, 2.0, 0.0, -1.0, 0.5, 3.0])
+        weights = modular_minvar_weights(small_discrete_database, claim)
+        expected = (claim.weights(6) ** 2) * small_discrete_database.variances
+        assert weights == pytest.approx(expected)
+
+    def test_maxpr_weights_formula(self, normal_database):
+        claim = LinearClaim.from_vector([1.0, 0.0, 2.0, 1.0, 1.0])
+        weights = modular_maxpr_weights(normal_database, claim)
+        expected = (claim.weights(5) ** 2) * normal_database.variances
+        assert weights == pytest.approx(expected)
+
+    def test_reject_nonlinear(self, normal_database):
+        indicator = ThresholdClaim(SumClaim([0]), threshold=1.0)
+        with pytest.raises(TypeError):
+            modular_minvar_weights(normal_database, indicator)
+        with pytest.raises(TypeError):
+            modular_maxpr_weights(normal_database, indicator)
+
+
+def brute_force_minvar(database, weights, budget):
+    n = len(database)
+    costs = database.costs
+    best = linear_expected_variance(database, weights, [])
+    for r in range(1, n + 1):
+        for combo in itertools.combinations(range(n), r):
+            if costs[list(combo)].sum() > budget + 1e-9:
+                continue
+            best = min(best, linear_expected_variance(database, weights, combo))
+    return best
+
+
+class TestOptimumModularMinVar:
+    def test_is_truly_optimal(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim.from_vector([1.0, 2.0, 0.5, 1.0, 0.0, 1.5])
+        weights = claim.weights(6)
+        for fraction in (0.2, 0.5, 0.8):
+            budget = db.total_cost * fraction
+            plan = OptimumModularMinVar(claim).select(db, budget)
+            assert plan.objective_value == pytest.approx(
+                brute_force_minvar(db, weights, budget), rel=1e-6, abs=1e-9
+            )
+
+    def test_respects_budget(self, small_discrete_database):
+        claim = LinearClaim.from_vector(np.ones(6))
+        plan = OptimumModularMinVar(claim).select(small_discrete_database, 4.0)
+        assert plan.cost <= 4.0 + 1e-9
+
+    def test_full_budget_cleans_all_referenced(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim({1: 1.0, 3: 1.0})
+        plan = OptimumModularMinVar(claim).select(db, db.total_cost)
+        assert plan.objective_value == pytest.approx(0.0)
+
+    def test_greedy_method_is_2_approx(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim.from_vector([1.0, 2.0, 0.5, 1.0, 3.0, 1.5])
+        weights = claim.weights(6)
+        total = linear_expected_variance(db, weights, [])
+        for fraction in (0.3, 0.6):
+            budget = db.total_cost * fraction
+            optimal_remaining = brute_force_minvar(db, weights, budget)
+            greedy_plan = OptimumModularMinVar(claim, method="greedy").select(db, budget)
+            removed_optimal = total - optimal_remaining
+            removed_greedy = total - greedy_plan.objective_value
+            assert removed_greedy >= removed_optimal / 2.0 - 1e-9
+
+    def test_fptas_method(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim.from_vector(np.ones(6))
+        plan = OptimumModularMinVar(claim, method="fptas", epsilon=0.1).select(db, 6.0)
+        assert plan.cost <= 6.0 + 1e-9
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            OptimumModularMinVar(LinearClaim({0: 1.0}), method="magic")
+
+
+class TestOptimumModularMaxPr:
+    def test_maximizes_probability_under_centered_normals(self, normal_database):
+        db = normal_database
+        claim = LinearClaim.from_vector(np.ones(5))
+        weights = claim.weights(5)
+        tau = 10.0
+        budget = 4.0
+        plan = OptimumModularMaxPr(claim, tau=tau).select(db, budget)
+        achieved = surprise_probability_normal_linear(db, weights, plan.selected, tau=tau)
+        # Compare against all feasible subsets.
+        best = 0.0
+        costs = db.costs
+        for r in range(1, 6):
+            for combo in itertools.combinations(range(5), r):
+                if costs[list(combo)].sum() > budget + 1e-9:
+                    continue
+                best = max(
+                    best, surprise_probability_normal_linear(db, weights, combo, tau=tau)
+                )
+        assert achieved == pytest.approx(best, abs=1e-9)
+
+    def test_objective_value_populated_for_normal_database(self, normal_database):
+        claim = LinearClaim.from_vector(np.ones(5))
+        plan = OptimumModularMaxPr(claim, tau=5.0).select(normal_database, 3.0)
+        assert plan.objective_value is not None
+        assert 0.0 <= plan.objective_value <= 1.0
+
+    def test_discrete_database_has_no_closed_form_objective(self, small_discrete_database):
+        claim = LinearClaim.from_vector(np.ones(6))
+        plan = OptimumModularMaxPr(claim).select(small_discrete_database, 5.0)
+        assert plan.objective_value is None
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            OptimumModularMaxPr(LinearClaim({0: 1.0}), method="magic")

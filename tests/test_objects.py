@@ -1,0 +1,120 @@
+"""Unit tests for repro.uncertainty.objects."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+
+@pytest.fixture
+def discrete_object():
+    return UncertainObject(
+        name="x",
+        current_value=5.0,
+        distribution=DiscreteDistribution.uniform([4.0, 5.0, 6.0]),
+        cost=2.0,
+    )
+
+
+@pytest.fixture
+def normal_object():
+    return UncertainObject(
+        name="y", current_value=100.0, distribution=NormalSpec(mean=100.0, std=7.0), cost=3.0
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            UncertainObject(name="", current_value=0.0, distribution=DiscreteDistribution.point_mass(0.0))
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError):
+            UncertainObject(
+                name="x",
+                current_value=0.0,
+                distribution=DiscreteDistribution.point_mass(0.0),
+                cost=0.0,
+            )
+
+    def test_rejects_wrong_distribution_type(self):
+        with pytest.raises(TypeError):
+            UncertainObject(name="x", current_value=0.0, distribution=[1, 2, 3])
+
+    def test_default_cost_is_one(self):
+        obj = UncertainObject(
+            name="x", current_value=0.0, distribution=DiscreteDistribution.point_mass(0.0)
+        )
+        assert obj.cost == 1.0
+
+    def test_is_frozen(self, discrete_object):
+        with pytest.raises(Exception):
+            discrete_object.cost = 10.0
+
+
+class TestProperties:
+    def test_mean_and_variance_discrete(self, discrete_object):
+        assert discrete_object.mean == pytest.approx(5.0)
+        assert discrete_object.variance == pytest.approx(2.0 / 3.0)
+
+    def test_mean_and_variance_normal(self, normal_object):
+        assert normal_object.mean == pytest.approx(100.0)
+        assert normal_object.variance == pytest.approx(49.0)
+        assert normal_object.std == pytest.approx(7.0)
+
+    def test_is_normal_flag(self, discrete_object, normal_object):
+        assert not discrete_object.is_normal
+        assert normal_object.is_normal
+
+    def test_is_certain(self, discrete_object):
+        assert not discrete_object.is_certain()
+        certain = UncertainObject(
+            name="c", current_value=3.0, distribution=DiscreteDistribution.point_mass(3.0)
+        )
+        assert certain.is_certain()
+
+    def test_zero_std_normal_is_certain(self):
+        obj = UncertainObject(name="z", current_value=1.0, distribution=NormalSpec(1.0, 0.0))
+        assert obj.is_certain()
+
+    def test_repr_contains_name_and_cost(self, discrete_object):
+        text = repr(discrete_object)
+        assert "x" in text and "2" in text
+
+
+class TestTransformations:
+    def test_cleaned_replaces_current_value(self, discrete_object):
+        cleaned = discrete_object.cleaned(4.0)
+        assert cleaned.current_value == 4.0
+        assert cleaned.is_certain()
+        assert cleaned.variance == 0.0
+        # Original is untouched.
+        assert discrete_object.current_value == 5.0
+
+    def test_cleaned_keeps_name_and_cost(self, discrete_object):
+        cleaned = discrete_object.cleaned(4.0)
+        assert cleaned.name == discrete_object.name
+        assert cleaned.cost == discrete_object.cost
+
+    def test_with_cost(self, discrete_object):
+        updated = discrete_object.with_cost(9.0)
+        assert updated.cost == 9.0
+        assert discrete_object.cost == 2.0
+
+    def test_discretized_normal(self, normal_object):
+        discrete = normal_object.discretized(points=6)
+        assert not discrete.is_normal
+        assert discrete.distribution.support_size == 6
+        assert discrete.mean == pytest.approx(100.0, rel=1e-6)
+
+    def test_discretized_noop_for_discrete(self, discrete_object):
+        assert discrete_object.discretized(points=10) is discrete_object
+
+    def test_sample_within_support(self, discrete_object, rng):
+        value = discrete_object.sample(rng)
+        assert value in {4.0, 5.0, 6.0}
+
+    def test_sample_normal(self, normal_object, rng):
+        draws = [normal_object.sample(rng) for _ in range(200)]
+        assert np.mean(draws) == pytest.approx(100.0, abs=2.5)

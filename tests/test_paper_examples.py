@@ -1,0 +1,103 @@
+"""End-to-end checks of the worked examples in the paper (Examples 3, 5, 6)."""
+
+import pytest
+
+from repro.claims.functions import LinearClaim, SumClaim, ThresholdClaim
+from repro.core.expected_variance import expected_variance_exact
+from repro.core.greedy import GreedyMaxPr, GreedyMinVar, GreedyNaive
+from repro.core.surprise import surprise_probability_exact
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution
+from repro.uncertainty.objects import UncertainObject
+
+
+class TestExample3:
+    """Cleaning can increase the conditional uncertainty of an indicator query."""
+
+    def test_uncertainty_increases_conditionally(self, example3_database):
+        db = example3_database
+        indicator = ThresholdClaim(SumClaim([0, 1, 2]), threshold=3.0, op="<")
+        # Without cleaning: f = 0 with probability 1/24.
+        p_zero = 1.0 / 24.0
+        variance_before = p_zero * (1 - p_zero)
+        assert expected_variance_exact(db, indicator, []) == pytest.approx(variance_before)
+
+        # Conditional on X1 = 1 the probability of f = 0 rises to 1/12, i.e.
+        # closer to a toss-up: the conditional variance exceeds the prior one.
+        conditional = UncertainDatabase(
+            [db[0].cleaned(1.0), db[1], db[2]]
+        )
+        variance_after_x1_is_1 = expected_variance_exact(conditional, indicator, [])
+        p_after = 1.0 / 12.0
+        assert variance_after_x1_is_1 == pytest.approx(p_after * (1 - p_after))
+        assert variance_after_x1_is_1 > variance_before
+
+    def test_expected_variance_still_decreases(self, example3_database):
+        # In expectation over the cleaning outcome, cleaning X1 cannot hurt
+        # (Lemma 3.4), even though one outcome increases uncertainty.
+        db = example3_database
+        indicator = ThresholdClaim(SumClaim([0, 1, 2]), threshold=3.0, op="<")
+        assert expected_variance_exact(db, indicator, [0]) <= expected_variance_exact(
+            db, indicator, []
+        ) + 1e-12
+
+
+class TestExample5:
+    """MinVar and MaxPr disagree on which of X1 / X2 to clean."""
+
+    def test_variances(self, example5_database):
+        assert example5_database[0].variance == pytest.approx(0.5)
+        assert example5_database[1].variance == pytest.approx(8.0 / 27.0)
+
+    def test_minvar_prefers_x1(self, example5_database):
+        claim = LinearClaim({0: 1.0, 1: 1.0})
+        ev_clean_x1 = expected_variance_exact(example5_database, claim, [0])
+        ev_clean_x2 = expected_variance_exact(example5_database, claim, [1])
+        assert ev_clean_x1 == pytest.approx(8.0 / 27.0)
+        assert ev_clean_x2 == pytest.approx(0.5)
+        assert ev_clean_x1 < ev_clean_x2
+
+    def test_maxpr_prefers_x2(self, example5_database):
+        claim = LinearClaim({0: 1.0, 1: 1.0})
+        tau = 2.0 - 17.0 / 12.0
+        p_clean_x1 = surprise_probability_exact(example5_database, claim, [0], tau=tau)
+        p_clean_x2 = surprise_probability_exact(example5_database, claim, [1], tau=tau)
+        assert p_clean_x1 == pytest.approx(1.0 / 5.0)
+        assert p_clean_x2 == pytest.approx(1.0 / 3.0)
+        assert p_clean_x2 > p_clean_x1
+
+    def test_algorithms_reach_opposite_choices(self, example5_database):
+        claim = LinearClaim({0: 1.0, 1: 1.0})
+        tau = 2.0 - 17.0 / 12.0
+        minvar_choice = GreedyMinVar(claim).select_indices(example5_database, 1.0)
+        maxpr_choice = GreedyMaxPr(claim, tau=tau).select_indices(example5_database, 1.0)
+        assert minvar_choice == [0]
+        assert maxpr_choice == [1]
+
+
+class TestExample6:
+    """GreedyMinVar beats GreedyNaive on the indicator claim 1[X1+X2 < 11/12]."""
+
+    def test_initial_variance(self, example5_database):
+        indicator = ThresholdClaim(SumClaim([0, 1]), threshold=11.0 / 12.0, op="<")
+        assert expected_variance_exact(example5_database, indicator, []) == pytest.approx(
+            26.0 / 225.0
+        )
+
+    def test_expected_variance_after_cleaning_each(self, example5_database):
+        indicator = ThresholdClaim(SumClaim([0, 1]), threshold=11.0 / 12.0, op="<")
+        assert expected_variance_exact(example5_database, indicator, [0]) == pytest.approx(4.0 / 45.0)
+        assert expected_variance_exact(example5_database, indicator, [1]) == pytest.approx(2.0 / 25.0)
+
+    def test_naive_picks_x1_minvar_picks_x2(self, example5_database):
+        indicator = ThresholdClaim(SumClaim([0, 1]), threshold=11.0 / 12.0, op="<")
+        assert GreedyNaive(indicator).select_indices(example5_database, 1.0) == [0]
+        assert GreedyMinVar(indicator).select_indices(example5_database, 1.0) == [1]
+
+    def test_minvar_choice_is_strictly_better(self, example5_database):
+        indicator = ThresholdClaim(SumClaim([0, 1]), threshold=11.0 / 12.0, op="<")
+        naive = GreedyNaive(indicator).select_indices(example5_database, 1.0)
+        minvar = GreedyMinVar(indicator).select_indices(example5_database, 1.0)
+        assert expected_variance_exact(example5_database, indicator, minvar) < (
+            expected_variance_exact(example5_database, indicator, naive)
+        )

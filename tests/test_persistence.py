@@ -1,0 +1,76 @@
+"""Unit tests for repro.experiments.persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import (
+    read_rows_csv,
+    write_rows_csv,
+    write_rows_json,
+    write_sweep_csv,
+)
+from repro.experiments.sweeps import SweepResult
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"algorithm": "GreedyMinVar", "budget_fraction": 0.1, "objective": 1.5},
+        {"algorithm": "GreedyNaive", "budget_fraction": 0.1, "objective": 2.5},
+    ]
+
+
+class TestCsv:
+    def test_roundtrip(self, rows, tmp_path):
+        path = write_rows_csv(rows, tmp_path / "out.csv")
+        loaded = read_rows_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0]["algorithm"] == "GreedyMinVar"
+        assert loaded[0]["objective"] == pytest.approx(1.5)
+        assert loaded[1]["budget_fraction"] == pytest.approx(0.1)
+
+    def test_column_order(self, rows, tmp_path):
+        path = write_rows_csv(rows, tmp_path / "out.csv", columns=["objective", "algorithm"])
+        header = path.read_text().splitlines()[0]
+        assert header == "objective,algorithm"
+
+    def test_missing_keys_written_empty(self, tmp_path):
+        path = write_rows_csv(
+            [{"a": 1}, {"a": 2, "b": 3}], tmp_path / "out.csv", columns=["a", "b"]
+        )
+        lines = path.read_text().splitlines()
+        assert lines[1] == "1,"
+
+    def test_rejects_empty_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows_csv([], tmp_path / "out.csv")
+
+    def test_creates_parent_directories(self, rows, tmp_path):
+        path = write_rows_csv(rows, tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()
+
+
+class TestJson:
+    def test_roundtrip(self, rows, tmp_path):
+        path = write_rows_json(rows, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == rows
+
+    def test_numpy_values_serialized(self, tmp_path):
+        import numpy as np
+
+        path = write_rows_json([{"x": np.float64(1.25)}], tmp_path / "out.json")
+        assert json.loads(path.read_text()) == [{"x": 1.25}]
+
+
+class TestSweepCsv:
+    def test_sweep_export(self, tmp_path):
+        sweep = SweepResult(
+            budget_fractions=[0.1, 0.5],
+            series={"A": [3.0, 1.0], "B": [4.0, 2.0]},
+        )
+        path = write_sweep_csv(sweep, tmp_path / "sweep.csv")
+        loaded = read_rows_csv(path)
+        assert len(loaded) == 4
+        assert {row["algorithm"] for row in loaded} == {"A", "B"}

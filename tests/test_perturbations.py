@@ -1,0 +1,183 @@
+"""Unit tests for repro.claims.perturbations and repro.claims.strength."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import WindowSumClaim
+from repro.claims.perturbations import (
+    PerturbationSet,
+    exponential_sensibility,
+    uniform_sensibility,
+    window_shift_perturbations,
+    window_sum_perturbations,
+)
+from repro.claims.strength import lower_is_stronger, relative_strength, subtraction_strength
+
+
+class TestStrengthFunctions:
+    def test_subtraction(self):
+        assert subtraction_strength(5.0, 3.0) == 2.0
+        assert subtraction_strength(1.0, 3.0) == -2.0
+
+    def test_lower_is_stronger(self):
+        assert lower_is_stronger(3.0, 5.0) == 2.0
+        assert lower_is_stronger(7.0, 5.0) == -2.0
+
+    def test_relative(self):
+        assert relative_strength(6.0, 4.0) == pytest.approx(0.5)
+        assert relative_strength(2.0, 4.0) == pytest.approx(-0.5)
+
+    def test_relative_zero_baseline_falls_back_to_subtraction(self):
+        assert relative_strength(3.0, 0.0) == 3.0
+
+
+class TestSensibilityModels:
+    def test_exponential_decay(self):
+        weights = exponential_sensibility([0, 1, 2], rate=2.0)
+        assert weights == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_exponential_uses_absolute_distance(self):
+        assert exponential_sensibility([-2], rate=2.0) == pytest.approx([0.25])
+
+    def test_exponential_rejects_rate_at_most_one(self):
+        with pytest.raises(ValueError):
+            exponential_sensibility([1], rate=1.0)
+
+    def test_uniform(self):
+        assert uniform_sensibility([5, 9, 100]) == [1.0, 1.0, 1.0]
+
+
+class TestPerturbationSet:
+    def test_sensibilities_normalized(self):
+        original = WindowSumClaim(0, 2)
+        claims = (WindowSumClaim(2, 2), WindowSumClaim(4, 2))
+        ps = PerturbationSet(original, claims, (2.0, 6.0))
+        assert ps.sensibilities == pytest.approx((0.25, 0.75))
+
+    def test_length_and_iteration(self):
+        original = WindowSumClaim(0, 2)
+        claims = (WindowSumClaim(2, 2), WindowSumClaim(4, 2))
+        ps = PerturbationSet(original, claims, (1.0, 1.0))
+        assert len(ps) == 2
+        pairs = list(ps)
+        assert pairs[0][1] == pytest.approx(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PerturbationSet(WindowSumClaim(0, 2), (WindowSumClaim(2, 2),), (1.0, 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PerturbationSet(WindowSumClaim(0, 2), (), ())
+
+    def test_rejects_negative_sensibility(self):
+        with pytest.raises(ValueError):
+            PerturbationSet(WindowSumClaim(0, 2), (WindowSumClaim(2, 2),), (-1.0,))
+
+    def test_rejects_all_zero_sensibilities(self):
+        with pytest.raises(ValueError):
+            PerturbationSet(WindowSumClaim(0, 2), (WindowSumClaim(2, 2),), (0.0,))
+
+    def test_referenced_indices_union(self):
+        ps = PerturbationSet(
+            WindowSumClaim(0, 2), (WindowSumClaim(2, 2), WindowSumClaim(3, 2)), (1.0, 1.0)
+        )
+        assert ps.referenced_indices() == frozenset({0, 1, 2, 3, 4})
+
+    def test_original_value(self):
+        ps = PerturbationSet(WindowSumClaim(0, 2), (WindowSumClaim(2, 2),), (1.0,))
+        assert ps.original_value([1.0, 2.0, 3.0, 4.0]) == 3.0
+
+    def test_with_sensibility_model(self):
+        ps = PerturbationSet.with_sensibility_model(
+            WindowSumClaim(0, 2),
+            [WindowSumClaim(2, 2), WindowSumClaim(4, 2)],
+            distances=[1, 2],
+            model=lambda d: exponential_sensibility(d, rate=2.0),
+        )
+        assert ps.sensibilities == pytest.approx((2.0 / 3.0, 1.0 / 3.0))
+
+
+class TestWindowShiftPerturbations:
+    def test_counts_and_exclusion_of_original(self):
+        ps = window_shift_perturbations(
+            n_objects=26, width=4, original_first_start=4, original_second_start=0
+        )
+        # first_start ranges over [4, 22] minus the original -> 18 perturbations
+        assert len(ps) == 18
+
+    def test_max_perturbations_keeps_closest(self):
+        ps = window_shift_perturbations(
+            n_objects=26,
+            width=4,
+            original_first_start=4,
+            original_second_start=0,
+            max_perturbations=6,
+        )
+        assert len(ps) == 6
+
+    def test_include_original(self):
+        with_original = window_shift_perturbations(
+            n_objects=12, width=2, original_first_start=2, original_second_start=0,
+            include_original=True,
+        )
+        without = window_shift_perturbations(
+            n_objects=12, width=2, original_first_start=2, original_second_start=0,
+        )
+        assert len(with_original) == len(without) + 1
+
+    def test_sensibility_decays_with_shift(self):
+        ps = window_shift_perturbations(
+            n_objects=20, width=2, original_first_start=2, original_second_start=0
+        )
+        by_label = {claim.description: s for claim, s in ps}
+        assert by_label["shift+1"] > by_label["shift+5"]
+
+    def test_perturbations_have_same_form(self):
+        ps = window_shift_perturbations(
+            n_objects=12, width=3, original_first_start=3, original_second_start=0
+        )
+        for claim, _ in ps:
+            assert claim.is_linear()
+            weights = claim.weights(12)
+            assert np.sum(weights == 1.0) == 3
+            assert np.sum(weights == -1.0) == 3
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            window_shift_perturbations(10, 0, 2, 0)
+
+
+class TestWindowSumPerturbations:
+    def test_sliding_windows_exclude_original(self):
+        ps = window_sum_perturbations(n_objects=10, width=2, original_start=8)
+        assert len(ps) == 8  # starts 0..8 minus the original
+
+    def test_non_overlapping_tiling(self):
+        ps = window_sum_perturbations(
+            n_objects=40, width=4, original_start=36, non_overlapping=True, include_original=True
+        )
+        assert len(ps) == 10
+        starts = sorted(claim.start for claim, _ in ps)
+        assert starts == list(range(0, 40, 4))
+
+    def test_non_overlapping_cdc_firearms_layout(self):
+        ps = window_sum_perturbations(
+            n_objects=17, width=2, original_start=15, non_overlapping=True, include_original=True
+        )
+        assert len(ps) == 8
+        starts = sorted(claim.start for claim, _ in ps)
+        assert starts == [1, 3, 5, 7, 9, 11, 13, 15]
+
+    def test_max_perturbations(self):
+        ps = window_sum_perturbations(n_objects=30, width=2, original_start=28, max_perturbations=5)
+        assert len(ps) == 5
+
+    def test_sensibility_prefers_nearby_windows(self):
+        ps = window_sum_perturbations(n_objects=20, width=2, original_start=18)
+        weights = {claim.start: s for claim, s in ps}
+        assert weights[16] > weights[0]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            window_sum_perturbations(10, 0, 2)

@@ -1,0 +1,292 @@
+"""Property-based tests (hypothesis) for the paper's structural lemmas.
+
+These check, on randomly generated instances:
+
+* Lemma 7.1 — the weighted power-mean inequality the variance proofs rest on;
+* Lemma 3.4 — EV is monotone non-increasing in the cleaned set;
+* Lemma 3.5 — EV is submodular when errors are independent;
+* Lemma 3.1 — the modular closed form matches exact enumeration for affine f;
+* knapsack invariants (feasibility, greedy 2-approximation);
+* the weighted-sum convolution matches direct enumeration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.claims.functions import LinearClaim, SumClaim, ThresholdClaim, WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Duplicity
+from repro.core.expected_variance import (
+    DecomposedEVCalculator,
+    expected_variance_exact,
+    linear_expected_variance,
+    weighted_sum_pmf,
+)
+from repro.core.knapsack import solve_knapsack_dp, solve_knapsack_greedy
+from repro.core.surprise import surprise_probability_discrete_linear, surprise_probability_exact
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution
+from repro.uncertainty.objects import UncertainObject
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_databases(draw, min_objects=2, max_objects=4, max_support=3):
+    """Random tiny discrete databases (kept small so exact EV is cheap)."""
+    n = draw(st.integers(min_objects, max_objects))
+    objects = []
+    for i in range(n):
+        size = draw(st.integers(1, max_support))
+        values = draw(
+            st.lists(
+                st.integers(0, 12), min_size=size, max_size=size, unique=True
+            )
+        )
+        probs = draw(
+            st.lists(
+                st.floats(0.05, 1.0, allow_nan=False, allow_infinity=False),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        distribution = DiscreteDistribution([float(v) for v in values], probs)
+        cost = draw(st.floats(0.5, 5.0, allow_nan=False, allow_infinity=False))
+        current = float(distribution.mean)
+        objects.append(
+            UncertainObject(f"h{i}", current, distribution, cost=float(cost))
+        )
+    return UncertainDatabase(objects)
+
+
+@st.composite
+def databases_with_query(draw):
+    """A database together with either a linear or an indicator query over it."""
+    database = draw(small_databases())
+    n = len(database)
+    indices = draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True)
+    )
+    if draw(st.booleans()):
+        weights = {
+            i: draw(st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False))
+            for i in indices
+        }
+        weights = {i: w for i, w in weights.items() if w != 0.0} or {indices[0]: 1.0}
+        query = LinearClaim(weights)
+    else:
+        threshold = draw(st.floats(0.0, 30.0, allow_nan=False, allow_infinity=False))
+        query = ThresholdClaim(SumClaim(indices), threshold=threshold, op="<")
+    return database, query
+
+
+class TestLemma71PowerMeanInequality:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 1.0), st.floats(-50.0, 50.0)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @SETTINGS
+    def test_weighted_second_moment_dominates_squared_mean(self, pairs):
+        weights = np.array([w for w, _ in pairs])
+        values = np.array([x for _, x in pairs])
+        weights = weights / weights.sum()
+        lhs = float(np.sum(weights * values**2))
+        rhs = float(np.sum(weights * values)) ** 2
+        assert lhs >= rhs - 1e-9
+
+
+class TestLemma34Monotonicity:
+    @given(databases_with_query())
+    @SETTINGS
+    def test_cleaning_more_never_increases_expected_variance(self, database_and_query):
+        database, query = database_and_query
+        n = len(database)
+        ev_empty = expected_variance_exact(database, query, [])
+        for i in range(n):
+            ev_single = expected_variance_exact(database, query, [i])
+            assert ev_single <= ev_empty + 1e-9
+            for j in range(n):
+                if j == i:
+                    continue
+                ev_pair = expected_variance_exact(database, query, [i, j])
+                assert ev_pair <= ev_single + 1e-9
+
+
+class TestLemma35Submodularity:
+    @given(databases_with_query())
+    @SETTINGS
+    def test_ev_is_submodular(self, database_and_query):
+        """EV(T ∪ {x}) - EV(T) >= EV(T' ∪ {x}) - EV(T') for T ⊂ T'.
+
+        Because EV is non-increasing, both sides are non-positive; the
+        inequality says the variance *reduction* from cleaning one more object
+        only grows as more objects are cleaned (the paper points out this is
+        the exact opposite of the sensor-placement setting).
+        """
+        database, query = database_and_query
+        n = len(database)
+        if n < 3:
+            return
+        indices = list(range(n))
+        for x in indices:
+            others = [i for i in indices if i != x]
+            for size in range(len(others)):
+                small = others[:size]
+                large = others[: size + 1]
+                change_small = expected_variance_exact(database, query, small + [x]) - (
+                    expected_variance_exact(database, query, small)
+                )
+                change_large = expected_variance_exact(database, query, large + [x]) - (
+                    expected_variance_exact(database, query, large)
+                )
+                assert change_small >= change_large - 1e-9
+
+
+class TestLemma31ModularClosedForm:
+    @given(small_databases(), st.data())
+    @SETTINGS
+    def test_linear_ev_matches_exact(self, database, data):
+        n = len(database)
+        weights = np.array(
+            [
+                data.draw(st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False))
+                for _ in range(n)
+            ]
+        )
+        claim = LinearClaim.from_vector(weights)
+        subset_bits = data.draw(st.integers(0, 2**n - 1))
+        cleaned = [i for i in range(n) if subset_bits & (1 << i)]
+        if not claim.referenced_indices:
+            return
+        assert linear_expected_variance(database, weights, cleaned) == pytest.approx(
+            expected_variance_exact(database, claim, cleaned), abs=1e-7
+        )
+
+
+class TestDecompositionAgreesWithExact:
+    @given(small_databases(min_objects=4, max_objects=4), st.data())
+    @SETTINGS
+    def test_duplicity_decomposition(self, database, data):
+        original = WindowSumClaim(2, 2, label="orig")
+        ps = PerturbationSet(original, (WindowSumClaim(0, 2), WindowSumClaim(2, 2)), (1.0, 1.0))
+        gamma = data.draw(st.floats(0.0, 25.0, allow_nan=False, allow_infinity=False))
+        measure = Duplicity(ps, database.current_values, baseline=gamma)
+        calculator = DecomposedEVCalculator(database, measure)
+        subset_bits = data.draw(st.integers(0, 2 ** len(database) - 1))
+        cleaned = [i for i in range(len(database)) if subset_bits & (1 << i)]
+        assert calculator.expected_variance(cleaned) == pytest.approx(
+            expected_variance_exact(database, measure, cleaned), abs=1e-8
+        )
+
+
+class TestConvolutionPmf:
+    @given(small_databases(), st.data())
+    @SETTINGS
+    def test_pmf_matches_enumeration(self, database, data):
+        n = len(database)
+        weights = {
+            i: data.draw(st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False))
+            for i in range(n)
+        }
+        pmf = weighted_sum_pmf(database, list(range(n)), weights)
+        assert sum(p for _, p in pmf) == pytest.approx(1.0, abs=1e-9)
+        mean_pmf = sum(v * p for v, p in pmf)
+        mean_direct = sum(weights[i] * database[i].mean for i in range(n))
+        assert mean_pmf == pytest.approx(mean_direct, abs=1e-7)
+
+    @given(small_databases(), st.data())
+    @SETTINGS
+    def test_surprise_convolution_matches_exact(self, database, data):
+        n = len(database)
+        weights = np.array(
+            [
+                data.draw(st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False))
+                for _ in range(n)
+            ]
+        )
+        claim = LinearClaim.from_vector(weights)
+        if not claim.referenced_indices:
+            return
+        subset_bits = data.draw(st.integers(1, 2**n - 1))
+        cleaned = [i for i in range(n) if subset_bits & (1 << i)]
+        tau = data.draw(st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False))
+        fast = surprise_probability_discrete_linear(database, weights, cleaned, tau=tau)
+        exact = surprise_probability_exact(database, claim, cleaned, tau=tau)
+        assert fast == pytest.approx(exact, abs=1e-9)
+
+
+class TestKnapsackProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 20.0), st.integers(1, 8)), min_size=1, max_size=8
+        ),
+        st.floats(0.0, 1.0),
+    )
+    @SETTINGS
+    def test_dp_feasible_and_dominates_greedy(self, items, budget_fraction):
+        values = [v for v, _ in items]
+        costs = [float(c) for _, c in items]
+        budget = budget_fraction * sum(costs)
+        dp = solve_knapsack_dp(values, costs, budget)
+        greedy = solve_knapsack_greedy(values, costs, budget)
+        assert dp.total_cost <= budget + 1e-9
+        assert greedy.total_cost <= budget + 1e-9
+        assert dp.total_value >= greedy.total_value - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 20.0), st.integers(1, 6)), min_size=1, max_size=7
+        ),
+        st.floats(0.1, 1.0),
+    )
+    @SETTINGS
+    def test_greedy_is_half_of_optimum(self, items, budget_fraction):
+        values = [v for v, _ in items]
+        costs = [float(c) for _, c in items]
+        budget = budget_fraction * sum(costs)
+        best = 0.0
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(range(len(items)), r):
+                if sum(costs[i] for i in combo) <= budget + 1e-9:
+                    best = max(best, sum(values[i] for i in combo))
+        greedy = solve_knapsack_greedy(values, costs, budget)
+        assert greedy.total_value >= best / 2.0 - 1e-9
+
+
+class TestSurpriseBounds:
+    @given(databases_with_query(), st.data())
+    @SETTINGS
+    def test_probability_in_unit_interval(self, database_and_query, data):
+        database, query = database_and_query
+        n = len(database)
+        subset_bits = data.draw(st.integers(0, 2**n - 1))
+        cleaned = [i for i in range(n) if subset_bits & (1 << i)]
+        tau = data.draw(st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False))
+        p = surprise_probability_exact(database, query, cleaned, tau=tau)
+        assert 0.0 <= p <= 1.0
+
+    @given(databases_with_query(), st.data())
+    @SETTINGS
+    def test_probability_non_increasing_in_tau(self, database_and_query, data):
+        database, query = database_and_query
+        n = len(database)
+        cleaned = list(range(n))
+        tau_small = data.draw(st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False))
+        tau_large = tau_small + data.draw(
+            st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False)
+        )
+        p_small = surprise_probability_exact(database, query, cleaned, tau=tau_small)
+        p_large = surprise_probability_exact(database, query, cleaned, tau=tau_large)
+        assert p_large <= p_small + 1e-12

@@ -1,0 +1,174 @@
+"""Unit tests for repro.claims.quality (bias, duplicity, fragility)."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Bias, Duplicity, Fragility
+from repro.claims.strength import lower_is_stronger, relative_strength
+
+
+@pytest.fixture
+def simple_set():
+    """Original sums objects {0,1}; two perturbations sum {2,3} and {4,5}."""
+    original = WindowSumClaim(0, 2, label="original")
+    perturbations = (WindowSumClaim(2, 2), WindowSumClaim(4, 2))
+    return PerturbationSet(original, perturbations, (0.75, 0.25))
+
+
+BASE = [10.0, 10.0, 8.0, 8.0, 30.0, 30.0]
+
+
+class TestBias:
+    def test_baseline_is_original_on_current(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        assert bias.baseline == 20.0
+
+    def test_value_is_weighted_average_of_deltas(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        # perturbation values: 16 and 60; deltas: -4 and +40
+        expected = 0.75 * (16 - 20) + 0.25 * (60 - 20)
+        assert bias.evaluate(BASE) == pytest.approx(expected)
+
+    def test_zero_bias_means_fair(self, simple_set):
+        values = [10.0, 10.0, 10.0, 10.0, 10.0, 10.0]
+        bias = Bias(simple_set, values)
+        assert bias.evaluate(values) == pytest.approx(0.0)
+
+    def test_referenced_indices_excludes_original_only_objects(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        # The original claim's objects appear only through the constant baseline.
+        assert bias.referenced_indices == frozenset({2, 3, 4, 5})
+
+    def test_is_linear_with_subtraction(self, simple_set):
+        assert Bias(simple_set, BASE).is_linear()
+
+    def test_not_linear_with_relative_strength(self, simple_set):
+        bias = Bias(simple_set, BASE, strength=relative_strength)
+        assert not bias.is_linear()
+        with pytest.raises(TypeError):
+            bias.as_linear_claim(6)
+
+    def test_as_linear_claim_matches_evaluation(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        linear = bias.as_linear_claim(6)
+        for values in ([1.0] * 6, list(range(6)), [5.0, 1.0, 2.0, 8.0, 3.0, 9.0]):
+            assert linear.evaluate(values) == pytest.approx(bias.evaluate(values))
+
+    def test_linear_weights_are_sensibility_weighted(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        weights = bias.weights(6)
+        assert weights[2] == pytest.approx(0.75)
+        assert weights[4] == pytest.approx(0.25)
+        assert weights[0] == pytest.approx(0.0)
+
+    def test_terms_have_claims_attached(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        assert len(bias.terms) == 2
+        for term in bias.terms:
+            assert term.claim is not None
+            assert term.transform is not None
+
+    def test_term_transform_matches_function(self, simple_set):
+        bias = Bias(simple_set, BASE)
+        term = bias.terms[0]
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert term(values) == pytest.approx(term.transform(term.claim.evaluate(values)))
+
+    def test_baseline_override(self, simple_set):
+        bias = Bias(simple_set, BASE, baseline=100.0)
+        assert bias.baseline == 100.0
+
+    def test_description(self, simple_set):
+        assert "Bias" in Bias(simple_set, BASE).description
+
+
+class TestDuplicity:
+    def test_counts_stronger_perturbations(self, simple_set):
+        dup = Duplicity(simple_set, BASE)
+        # Perturbation sums 16 (< 20: weaker) and 60 (>= 20: stronger) -> 1
+        assert dup.evaluate(BASE) == pytest.approx(1.0)
+
+    def test_lower_is_stronger_flips_counting(self, simple_set):
+        dup = Duplicity(simple_set, BASE, strength=lower_is_stronger)
+        # Now the perturbation with the lower sum counts.
+        assert dup.evaluate(BASE) == pytest.approx(1.0)
+        low_everywhere = [10.0, 10.0, 1.0, 1.0, 1.0, 1.0]
+        dup_low = Duplicity(simple_set, BASE, strength=lower_is_stronger)
+        assert dup_low.evaluate(low_everywhere) == pytest.approx(2.0)
+
+    def test_value_is_integer_count(self, simple_set):
+        dup = Duplicity(simple_set, BASE)
+        value = dup.evaluate([0.0, 0.0, 100.0, 100.0, 100.0, 100.0])
+        assert value == pytest.approx(2.0)
+
+    def test_independent_of_sensibility(self, simple_set):
+        # Duplicity counts perturbations without sensibility weighting.
+        other = PerturbationSet(
+            simple_set.original, simple_set.perturbations, (0.01, 0.99)
+        )
+        assert Duplicity(simple_set, BASE).evaluate(BASE) == pytest.approx(
+            Duplicity(other, BASE).evaluate(BASE)
+        )
+
+    def test_baseline_override_changes_count(self, simple_set):
+        dup = Duplicity(simple_set, BASE, baseline=10.0)
+        # Thresholds against 10: sums 16 and 60 are both >= 10 -> count 2.
+        assert dup.evaluate(BASE) == pytest.approx(2.0)
+
+    def test_bounded_by_number_of_perturbations(self, simple_set):
+        dup = Duplicity(simple_set, BASE)
+        assert 0.0 <= dup.evaluate(BASE) <= len(simple_set)
+
+
+class TestFragility:
+    def test_only_weakening_perturbations_contribute(self, simple_set):
+        frag = Fragility(simple_set, BASE)
+        # Deltas: -4 (weakens) and +40 (strengthens).
+        expected = 0.75 * 16.0
+        assert frag.evaluate(BASE) == pytest.approx(expected)
+
+    def test_zero_when_all_perturbations_stronger(self, simple_set):
+        values = [0.0, 0.0, 50.0, 50.0, 50.0, 50.0]
+        frag = Fragility(simple_set, values)
+        assert frag.evaluate(values) == pytest.approx(0.0)
+
+    def test_quadratic_in_weakening(self, simple_set):
+        frag = Fragility(simple_set, BASE)
+        smaller = [10.0, 10.0, 9.0, 9.0, 30.0, 30.0]  # delta -2 instead of -4
+        assert frag.evaluate(BASE) == pytest.approx(4.0 * frag.evaluate(smaller))
+
+    def test_nonnegative(self, simple_set, rng):
+        frag = Fragility(simple_set, BASE)
+        for _ in range(10):
+            values = rng.uniform(0, 40, size=6)
+            assert frag.evaluate(values) >= 0.0
+
+    def test_sensibility_weighting(self, simple_set):
+        # Swap sensibilities: the weakening perturbation now has weight 0.25.
+        swapped = PerturbationSet(simple_set.original, simple_set.perturbations, (0.25, 0.75))
+        assert Fragility(swapped, BASE).evaluate(BASE) == pytest.approx(0.25 * 16.0)
+
+
+class TestMeasureInterface:
+    def test_measures_are_claim_functions(self, simple_set):
+        for cls in (Bias, Duplicity, Fragility):
+            measure = cls(simple_set, BASE)
+            assert callable(measure)
+            assert measure.referenced_indices
+            assert isinstance(measure.evaluate(BASE), float)
+
+    def test_terms_reference_subsets(self, simple_set):
+        for cls in (Bias, Duplicity, Fragility):
+            measure = cls(simple_set, BASE)
+            for term in measure.terms:
+                assert term.referenced_indices <= measure.referenced_indices
+
+    def test_sum_of_terms_equals_evaluation(self, simple_set, rng):
+        for cls in (Bias, Duplicity, Fragility):
+            measure = cls(simple_set, BASE)
+            for _ in range(5):
+                values = rng.uniform(0, 50, size=6)
+                total = sum(term(values) for term in measure.terms)
+                assert total == pytest.approx(measure.evaluate(values))

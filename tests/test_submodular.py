@@ -1,0 +1,180 @@
+"""Unit tests for repro.core.submodular (Best, OPT, curvature, bi-criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim, WindowSumClaim
+from repro.claims.perturbations import PerturbationSet
+from repro.claims.quality import Duplicity, Fragility
+from repro.claims.strength import lower_is_stronger
+from repro.core.expected_variance import DecomposedEVCalculator, linear_expected_variance
+from repro.core.submodular import (
+    BestSubmodularMinVar,
+    ExhaustiveMinVar,
+    bicriteria_unit_cost,
+    curvature,
+)
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution
+from repro.uncertainty.objects import UncertainObject
+
+
+@pytest.fixture
+def duplicity_setup(eight_object_database):
+    db = eight_object_database
+    original = WindowSumClaim(6, 2, label="original")
+    ps = PerturbationSet(
+        original, tuple(WindowSumClaim(s, 2) for s in (0, 2, 4, 6)), (1, 1, 1, 1)
+    )
+    gamma = float(np.median([db.current_values[s : s + 2].sum() for s in (0, 2, 4, 6)]))
+    measure = Duplicity(ps, db.current_values, strength=lower_is_stronger, baseline=gamma)
+    calculator = DecomposedEVCalculator(db, measure)
+    return db, measure, calculator
+
+
+class TestCurvature:
+    def test_modular_function_has_zero_curvature(self, small_discrete_database):
+        db = small_discrete_database
+        weights = np.ones(6)
+
+        def ev(cleaned):
+            return linear_expected_variance(db, weights, cleaned)
+
+        assert curvature(db, ev) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded_between_zero_and_one(self, duplicity_setup):
+        db, measure, calculator = duplicity_setup
+        kappa = curvature(db, calculator.expected_variance)
+        assert 0.0 <= kappa <= 1.0
+
+    def test_zero_variance_function(self, small_discrete_database):
+        assert curvature(small_discrete_database, lambda cleaned: 0.0) == 0.0
+
+
+class TestExhaustiveMinVar:
+    def test_finds_global_optimum_for_linear(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim.from_vector([1.0, 2.0, 0.5, 1.0, 0.0, 1.5])
+        weights = claim.weights(6)
+        budget = db.total_cost * 0.5
+        plan = ExhaustiveMinVar(claim).select(db, budget)
+        # No feasible set can do better.
+        from itertools import combinations
+
+        best = linear_expected_variance(db, weights, [])
+        for r in range(1, 7):
+            for combo in combinations(range(6), r):
+                if db.costs[list(combo)].sum() <= budget + 1e-9:
+                    best = min(best, linear_expected_variance(db, weights, combo))
+        assert plan.objective_value == pytest.approx(best, abs=1e-9)
+
+    def test_custom_objective(self, small_discrete_database):
+        db = small_discrete_database
+
+        def objective(cleaned):
+            # Prefer cleaning object 3 above all else.
+            return 0.0 if 3 in set(cleaned) else 1.0
+
+        plan = ExhaustiveMinVar(objective=objective).select(db, db.total_cost)
+        assert 3 in plan.selected
+
+    def test_requires_function_or_objective(self):
+        with pytest.raises(ValueError):
+            ExhaustiveMinVar()
+
+    def test_rejects_large_databases(self, small_discrete_database):
+        claim = LinearClaim({0: 1.0})
+        solver = ExhaustiveMinVar(claim, max_objects=3)
+        with pytest.raises(ValueError):
+            solver.select_indices(small_discrete_database, 1.0)
+
+    def test_zero_budget(self, small_discrete_database):
+        claim = LinearClaim.from_vector(np.ones(6))
+        plan = ExhaustiveMinVar(claim).select(small_discrete_database, 0.0)
+        assert plan.selected == ()
+
+
+class TestBestSubmodularMinVar:
+    def test_matches_optimum_for_modular_objective(self, small_discrete_database):
+        db = small_discrete_database
+        claim = LinearClaim.from_vector([1.0, 2.0, 0.5, 1.0, 0.0, 1.5])
+        weights = claim.weights(6)
+
+        def ev(cleaned):
+            return linear_expected_variance(db, weights, cleaned)
+
+        best = BestSubmodularMinVar(claim, ev_factory=lambda _db, _fn: ev)
+        exhaustive = ExhaustiveMinVar(claim)
+        for fraction in (0.3, 0.6):
+            budget = db.total_cost * fraction
+            value_best = ev(best.select_indices(db, budget))
+            value_opt = exhaustive.select(db, budget).objective_value
+            assert value_best == pytest.approx(value_opt, rel=1e-6, abs=1e-9)
+
+    def test_never_worse_than_no_cleaning(self, duplicity_setup):
+        db, measure, calculator = duplicity_setup
+        best = BestSubmodularMinVar(
+            measure, ev_factory=lambda _db, _fn: calculator.expected_variance
+        )
+        initial = calculator.expected_variance([])
+        for fraction in (0.25, 0.5, 0.75):
+            selected = best.select_indices(db, db.total_cost * fraction)
+            assert calculator.expected_variance(selected) <= initial + 1e-9
+
+    def test_close_to_exhaustive_on_duplicity(self, duplicity_setup):
+        db, measure, calculator = duplicity_setup
+        best = BestSubmodularMinVar(
+            measure, ev_factory=lambda _db, _fn: calculator.expected_variance
+        )
+        opt = ExhaustiveMinVar(objective=calculator.expected_variance)
+        budget = db.total_cost * 0.5
+        value_best = calculator.expected_variance(best.select_indices(db, budget))
+        value_opt = calculator.expected_variance(opt.select_indices(db, budget))
+        initial = calculator.expected_variance([])
+        # Best should capture at least half of the achievable reduction.
+        assert initial - value_best >= 0.5 * (initial - value_opt) - 1e-9
+
+    def test_respects_budget(self, duplicity_setup):
+        db, measure, calculator = duplicity_setup
+        best = BestSubmodularMinVar(
+            measure, ev_factory=lambda _db, _fn: calculator.expected_variance
+        )
+        budget = db.total_cost * 0.4
+        selected = best.select_indices(db, budget)
+        assert sum(db.costs[i] for i in selected) <= budget + 1e-9
+
+    def test_plan_interface(self, duplicity_setup):
+        db, measure, calculator = duplicity_setup
+        best = BestSubmodularMinVar(
+            measure, ev_factory=lambda _db, _fn: calculator.expected_variance
+        )
+        plan = best.select(db, db.total_cost * 0.5)
+        assert plan.algorithm == "Best"
+        assert plan.objective_value is not None
+
+
+class TestBicriteria:
+    def test_requires_unit_costs(self, small_discrete_database):
+        with pytest.raises(ValueError):
+            bicriteria_unit_cost(small_discrete_database, lambda c: 1.0, budget=2.0)
+
+    def test_unit_cost_selection(self):
+        db = UncertainDatabase(
+            [
+                UncertainObject(f"u{i}", 0.0, DiscreteDistribution.uniform([0.0, float(i + 1)]), cost=1.0)
+                for i in range(5)
+            ]
+        )
+        weights = np.ones(5)
+
+        def ev(cleaned):
+            return linear_expected_variance(db, weights, cleaned)
+
+        selected = bicriteria_unit_cost(db, ev, budget=2.0, alpha=0.5)
+        # The relaxed budget is 4; the reduction target is half the variance.
+        assert len(selected) <= 4
+        assert ev(selected) <= ev([]) * 0.5 + 1e-9
+
+    def test_invalid_alpha(self, small_discrete_database):
+        with pytest.raises(ValueError):
+            bicriteria_unit_cost(small_discrete_database, lambda c: 1.0, budget=2.0, alpha=1.5)

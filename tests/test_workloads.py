@@ -1,0 +1,125 @@
+"""Unit tests for repro.experiments.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.claims.quality import Bias, Duplicity, Fragility
+from repro.datasets.adoptions import load_adoptions
+from repro.datasets.cdc import load_cdc_causes, load_cdc_firearms
+from repro.datasets.synthetic import generate_urx
+from repro.experiments.workloads import (
+    cdc_causes_share_workload,
+    fairness_window_comparison_workload,
+    robustness_workload,
+    uniqueness_workload,
+)
+
+
+class TestFairnessWorkload:
+    def test_adoptions_giuliani_claim(self):
+        db = load_adoptions()
+        workload = fairness_window_comparison_workload(
+            db, width=4, later_window_start=4, max_perturbations=18
+        )
+        assert isinstance(workload.query_function, Bias)
+        assert workload.query_function.is_linear()
+        assert len(workload.perturbations) == 18
+
+    def test_bias_weights_cover_timeline(self):
+        db = load_adoptions()
+        workload = fairness_window_comparison_workload(db, width=4, later_window_start=4)
+        weights = workload.query_function.weights(len(db))
+        assert np.count_nonzero(weights) > 8
+
+    def test_cdc_firearms_perturbation_cap(self):
+        db = load_cdc_firearms()
+        workload = fairness_window_comparison_workload(
+            db, width=4, later_window_start=4, max_perturbations=10
+        )
+        assert len(workload.perturbations) <= 10
+
+    def test_rejects_window_without_room(self):
+        db = load_cdc_firearms()
+        with pytest.raises(ValueError):
+            fairness_window_comparison_workload(db, width=4, later_window_start=2)
+
+
+class TestCdcCausesShareWorkload:
+    def test_structure(self):
+        db = load_cdc_causes()
+        workload = cdc_causes_share_workload(db)
+        assert isinstance(workload.query_function, Bias)
+        assert workload.query_function.is_linear()
+        assert 1 <= len(workload.perturbations) <= 16
+
+    def test_claim_mixes_positive_and_negative_weights(self):
+        db = load_cdc_causes()
+        workload = cdc_causes_share_workload(db, share=0.3)
+        original = workload.perturbations.original
+        weights = original.weights(len(db))
+        assert np.any(weights > 0) and np.any(weights < 0)
+
+    def test_rejects_mismatched_layout(self):
+        db = load_cdc_firearms()
+        with pytest.raises(ValueError):
+            cdc_causes_share_workload(db)
+
+
+class TestUniquenessWorkload:
+    def test_synthetic_ten_windows(self):
+        db = generate_urx(n=40, seed=0)
+        workload = uniqueness_workload(db, window_width=4, gamma=150.0)
+        assert isinstance(workload.query_function, Duplicity)
+        assert len(workload.perturbations) == 10
+        assert workload.database.all_discrete()
+
+    def test_cdc_firearms_discretized(self):
+        db = load_cdc_firearms()
+        workload = uniqueness_workload(db, window_width=2, gamma=150000.0, discretize_points=6)
+        assert workload.database.all_discrete()
+        assert workload.database.max_support_size() == 6
+        assert len(workload.perturbations) == 8
+
+    def test_gamma_becomes_baseline(self):
+        db = generate_urx(n=40, seed=0)
+        workload = uniqueness_workload(db, window_width=4, gamma=123.0)
+        assert workload.query_function.baseline == 123.0
+
+    def test_duplicity_counts_low_windows(self):
+        db = generate_urx(n=40, seed=0)
+        workload = uniqueness_workload(db, window_width=4, gamma=1000.0)
+        # Every window sum is far below 1000, so every perturbation counts.
+        value = workload.query_function.evaluate(workload.database.current_values)
+        assert value == len(workload.perturbations)
+
+    def test_terms_are_non_overlapping(self):
+        db = generate_urx(n=40, seed=0)
+        workload = uniqueness_workload(db, window_width=4, gamma=150.0)
+        seen = set()
+        for term in workload.query_function.terms:
+            assert not (seen & term.referenced_indices)
+            seen |= term.referenced_indices
+
+
+class TestRobustnessWorkload:
+    def test_synthetic_twenty_five_windows(self):
+        db = generate_urx(n=100, seed=1)
+        workload = robustness_workload(db, window_width=4, gamma=100.0)
+        assert isinstance(workload.query_function, Fragility)
+        assert len(workload.perturbations) == 25
+
+    def test_fragility_zero_when_gamma_tiny(self):
+        db = generate_urx(n=40, seed=0)
+        workload = robustness_workload(db, window_width=4, gamma=0.0)
+        # No window can fall below zero, so the claim is perfectly robust.
+        assert workload.query_function.evaluate(workload.database.current_values) == 0.0
+
+    def test_fragility_positive_when_gamma_huge(self):
+        db = generate_urx(n=40, seed=0)
+        workload = robustness_workload(db, window_width=4, gamma=10000.0)
+        assert workload.query_function.evaluate(workload.database.current_values) > 0.0
+
+    def test_description_mentions_gamma(self):
+        db = generate_urx(n=40, seed=0)
+        workload = robustness_workload(db, window_width=4, gamma=42.0)
+        assert "42" in workload.description
