@@ -18,6 +18,14 @@ Every claim exposes ``referenced_indices`` — the set of objects it actually
 reads — which drives the efficient expected-variance computation of
 Theorem 3.8 (terms only need to enumerate the worlds of the objects they
 reference).
+
+Claims also expose a batched evaluation path, ``evaluate_batch``, taking a
+``(worlds, n)`` matrix of value vectors and returning the ``(worlds,)`` vector
+of results.  Structured claims override it with array arithmetic (a single
+matrix–vector product for linear claims, a vectorized comparison for
+threshold claims); the base class falls back to a per-row Python loop so
+opaque user-defined claims keep working.  The vectorized expected-variance,
+surprise and Monte-Carlo kernels are built on this path.
 """
 
 from __future__ import annotations
@@ -43,6 +51,20 @@ class ClaimFunction(abc.ABC):
     @abc.abstractmethod
     def evaluate(self, values: Sequence[float]) -> float:
         """Evaluate the claim on a complete assignment of object values."""
+
+    def evaluate_batch(self, values_matrix: np.ndarray) -> np.ndarray:
+        """Evaluate the claim on a ``(worlds, n)`` matrix of value vectors.
+
+        Returns the ``(worlds,)`` vector of results.  This base implementation
+        is a per-row loop — always correct, never fast — so opaque claims work
+        unchanged; structured subclasses override it with array arithmetic.
+        """
+        values_matrix = np.asarray(values_matrix, dtype=float)
+        return np.fromiter(
+            (self.evaluate(row) for row in values_matrix),
+            dtype=float,
+            count=values_matrix.shape[0],
+        )
 
     @property
     @abc.abstractmethod
@@ -92,6 +114,10 @@ class LinearClaim(ClaimFunction):
         self._intercept = float(intercept)
         self._label = label
         self._referenced = frozenset(cleaned)
+        # Dense column-index / weight arrays for the batched evaluation path.
+        ordered = sorted(cleaned)
+        self._index_array = np.array(ordered, dtype=np.intp)
+        self._weight_array = np.array([cleaned[i] for i in ordered], dtype=float)
 
     @classmethod
     def from_vector(cls, vector: Sequence[float], intercept: float = 0.0, label: str = "") -> "LinearClaim":
@@ -117,6 +143,12 @@ class LinearClaim(ClaimFunction):
         for index, weight in self._weights.items():
             total += weight * values[index]
         return float(total)
+
+    def evaluate_batch(self, values_matrix: np.ndarray) -> np.ndarray:
+        values_matrix = np.asarray(values_matrix, dtype=float)
+        if self._index_array.size == 0:
+            return np.full(values_matrix.shape[0], self._intercept, dtype=float)
+        return values_matrix[:, self._index_array] @ self._weight_array + self._intercept
 
     def is_linear(self) -> bool:
         return True
@@ -246,6 +278,13 @@ class ThresholdClaim(ClaimFunction):
 
     def evaluate(self, values: Sequence[float]) -> float:
         return 1.0 if self._OPS[self.op](self.inner.evaluate(values), self.threshold) else 0.0
+
+    def evaluate_batch(self, values_matrix: np.ndarray) -> np.ndarray:
+        inner_values = self.inner.evaluate_batch(values_matrix)
+        # The comparison lambdas are elementwise, so they vectorize as-is.
+        return np.asarray(
+            self._OPS[self.op](inner_values, self.threshold), dtype=float
+        )
 
     def __repr__(self) -> str:
         return self.description

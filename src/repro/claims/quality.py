@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.claims.functions import ClaimFunction, LinearClaim
 from repro.claims.perturbations import PerturbationSet
-from repro.claims.strength import StrengthFunction, subtraction_strength
+from repro.claims.strength import (
+    StrengthFunction,
+    subtraction_strength,
+    vectorized_strength,
+)
 
 __all__ = ["QualityTerm", "ClaimQualityMeasure", "Bias", "Duplicity", "Fragility"]
 
@@ -40,6 +44,11 @@ class QualityTerm:
     that structure so the expected-variance machinery can work on the
     distribution of the claim value (a one-dimensional convolution for linear
     claims) instead of enumerating full value vectors.
+
+    ``transform_batch``, when present, is the elementwise array counterpart of
+    ``transform`` (built from the whitelisted vectorized strengths); the
+    vectorized kernels use it through :meth:`apply_transform`, which falls
+    back to a per-element loop for opaque transforms.
     """
 
     function: Callable[[Sequence[float]], float]
@@ -47,9 +56,42 @@ class QualityTerm:
     label: str = ""
     claim: Optional[ClaimFunction] = None
     transform: Optional[Callable[[float], float]] = None
+    transform_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
     def __call__(self, values: Sequence[float]) -> float:
         return self.function(values)
+
+    def apply_transform(self, claim_values: np.ndarray) -> np.ndarray:
+        """Apply the scalar transform over an array of claim values.
+
+        Uses ``transform_batch`` when available; otherwise loops over the
+        elements with the scalar ``transform`` (shape is preserved either way).
+        """
+        claim_values = np.asarray(claim_values, dtype=float)
+        if self.transform_batch is not None:
+            return np.asarray(self.transform_batch(claim_values), dtype=float)
+        if self.transform is None:
+            raise TypeError(f"term {self.label!r} has no scalar transform")
+        flat = claim_values.reshape(-1)
+        out = np.fromiter(
+            (self.transform(v) for v in flat), dtype=float, count=flat.size
+        )
+        return out.reshape(claim_values.shape)
+
+    def evaluate_batch(self, values_matrix: np.ndarray) -> np.ndarray:
+        """Evaluate the term on a ``(worlds, n)`` matrix of value vectors.
+
+        Structured terms (claim + transform) go through the claim's batched
+        evaluation and the transform; opaque terms loop over the rows.
+        """
+        values_matrix = np.asarray(values_matrix, dtype=float)
+        if self.claim is not None and self.transform is not None:
+            return self.apply_transform(self.claim.evaluate_batch(values_matrix))
+        return np.fromiter(
+            (self.function(row) for row in values_matrix),
+            dtype=float,
+            count=values_matrix.shape[0],
+        )
 
 
 class ClaimQualityMeasure(ClaimFunction):
@@ -101,6 +143,17 @@ class ClaimQualityMeasure(ClaimFunction):
     def _term_value(self, perturbation_value: float, sensibility: float) -> float:
         """Contribution of one perturbation given its value and sensibility."""
 
+    def _term_value_batch(
+        self, perturbation_values: np.ndarray, sensibility: float
+    ) -> Optional[np.ndarray]:
+        """Elementwise array counterpart of :meth:`_term_value`.
+
+        Returns ``None`` when the configured strength function is not in the
+        vectorized whitelist, in which case the kernels fall back to a
+        per-element loop over the scalar transform.
+        """
+        return None
+
     def _build_terms(self) -> List[QualityTerm]:
         terms: List[QualityTerm] = []
         for k, (claim, sensibility) in enumerate(self.perturbation_set):
@@ -114,12 +167,21 @@ class ClaimQualityMeasure(ClaimFunction):
         def transform(claim_value: float, _s=sensibility) -> float:
             return self._term_value(claim_value, _s)
 
+        transform_batch = None
+        # Probe with an empty array: vectorizable measures return an array,
+        # measures over opaque strength functions return None.
+        if self._term_value_batch(np.zeros(0), sensibility) is not None:
+
+            def transform_batch(claim_values: np.ndarray, _s=sensibility) -> np.ndarray:
+                return self._term_value_batch(np.asarray(claim_values, dtype=float), _s)
+
         return QualityTerm(
             function=term_function,
             referenced_indices=claim.referenced_indices,
             label=f"{self.__class__.__name__}[{claim.description}]",
             claim=claim,
             transform=transform,
+            transform_batch=transform_batch,
         )
 
     @property
@@ -132,6 +194,13 @@ class ClaimQualityMeasure(ClaimFunction):
     # ------------------------------------------------------------------ #
     def evaluate(self, values: Sequence[float]) -> float:
         return float(sum(term(values) for term in self._terms))
+
+    def evaluate_batch(self, values_matrix: np.ndarray) -> np.ndarray:
+        values_matrix = np.asarray(values_matrix, dtype=float)
+        total = np.zeros(values_matrix.shape[0], dtype=float)
+        for term in self._terms:
+            total += term.evaluate_batch(values_matrix)
+        return total
 
     @property
     def referenced_indices(self) -> FrozenSet[int]:
@@ -157,6 +226,14 @@ class Bias(ClaimQualityMeasure):
 
     def _term_value(self, perturbation_value: float, sensibility: float) -> float:
         return sensibility * self.strength(perturbation_value, self.baseline)
+
+    def _term_value_batch(
+        self, perturbation_values: np.ndarray, sensibility: float
+    ) -> Optional[np.ndarray]:
+        batch_strength = vectorized_strength(self.strength)
+        if batch_strength is None:
+            return None
+        return sensibility * batch_strength(perturbation_values, self.baseline)
 
     def is_linear(self) -> bool:
         return self.strength is subtraction_strength and all(
@@ -198,6 +275,14 @@ class Duplicity(ClaimQualityMeasure):
     def _term_value(self, perturbation_value: float, sensibility: float) -> float:
         return 1.0 if self.strength(perturbation_value, self.baseline) >= 0.0 else 0.0
 
+    def _term_value_batch(
+        self, perturbation_values: np.ndarray, sensibility: float
+    ) -> Optional[np.ndarray]:
+        batch_strength = vectorized_strength(self.strength)
+        if batch_strength is None:
+            return None
+        return (batch_strength(perturbation_values, self.baseline) >= 0.0).astype(float)
+
 
 class Fragility(ClaimQualityMeasure):
     """Robustness measure: ``frag = sum_k s_k * (min{Delta(q_k(X), q*(u)), 0})**2``.
@@ -208,4 +293,13 @@ class Fragility(ClaimQualityMeasure):
 
     def _term_value(self, perturbation_value: float, sensibility: float) -> float:
         weakening = min(self.strength(perturbation_value, self.baseline), 0.0)
+        return sensibility * weakening * weakening
+
+    def _term_value_batch(
+        self, perturbation_values: np.ndarray, sensibility: float
+    ) -> Optional[np.ndarray]:
+        batch_strength = vectorized_strength(self.strength)
+        if batch_strength is None:
+            return None
+        weakening = np.minimum(batch_strength(perturbation_values, self.baseline), 0.0)
         return sensibility * weakening * weakening

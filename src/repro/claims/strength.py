@@ -9,13 +9,16 @@ values mean it weakens it.  The paper uses plain subtraction for linear claims
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
+
+import numpy as np
 
 __all__ = [
     "StrengthFunction",
     "subtraction_strength",
     "lower_is_stronger",
     "relative_strength",
+    "vectorized_strength",
 ]
 
 StrengthFunction = Callable[[float, float], float]
@@ -42,3 +45,39 @@ def relative_strength(perturbation_value: float, original_value: float) -> float
     if original_value == 0.0:
         return float(perturbation_value - original_value)
     return float((perturbation_value - original_value) / abs(original_value))
+
+
+def _subtraction_batch(values: np.ndarray, original_value: float) -> np.ndarray:
+    return np.asarray(values, dtype=float) - original_value
+
+
+def _lower_is_stronger_batch(values: np.ndarray, original_value: float) -> np.ndarray:
+    return original_value - np.asarray(values, dtype=float)
+
+
+def _relative_batch(values: np.ndarray, original_value: float) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if original_value == 0.0:
+        return values - original_value
+    return (values - original_value) / abs(original_value)
+
+
+_VECTORIZED: dict = {
+    subtraction_strength: _subtraction_batch,
+    lower_is_stronger: _lower_is_stronger_batch,
+    relative_strength: _relative_batch,
+}
+
+
+def vectorized_strength(
+    strength: StrengthFunction,
+) -> Optional[Callable[[np.ndarray, float], np.ndarray]]:
+    """Elementwise (NumPy) counterpart of a known strength function.
+
+    The vectorized expected-variance kernels apply the strength over whole
+    support arrays at once; that is only safe when the function is known to be
+    elementwise, so this registry whitelists the built-in strengths.  Unknown
+    (user-supplied) callables return ``None`` and the kernels fall back to a
+    per-element loop, which is slower but always correct.
+    """
+    return _VECTORIZED.get(strength)

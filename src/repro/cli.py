@@ -98,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p10 = subparsers.add_parser("figure10", help=_EXPERIMENTS["figure10"])
     p10.add_argument("--n", type=int, default=2000)
-    p10.add_argument("--sizes", type=int, nargs="+", default=[500, 1000, 2000])
+    p10.add_argument("--sizes", type=int, nargs="+", default=[500, 1000, 2000, 4000, 10000])
 
     p11 = subparsers.add_parser("figure11", help=_EXPERIMENTS["figure11"])
     p11.add_argument("--gamma", type=float, default=0.7)

@@ -19,6 +19,15 @@ Three computation strategies are provided, matching the paper:
 For affine query functions with uncorrelated errors the closed form
 ``EV(T) = sum_{i not in T} a_i^2 Var[X_i]`` (Lemma 3.1) is exposed as
 :func:`linear_expected_variance`.
+
+Every strategy has a *vectorized* kernel operating on batched ``(worlds, n)``
+arrays (``joint_support_arrays`` worlds, ``evaluate_batch`` claim evaluation,
+array-based pmf convolution) and a retained scalar path (``vectorized=False``
+or the ``*_scalar`` twins) that walks per-world Python dicts exactly as the
+original implementation did.  The scalar path is the reference the randomized
+equivalence tests pit the kernels against; the vectorized path is what the
+greedy loops run and is what makes paper-scale instances (Figure 10,
+n = 10,000+) tractable.
 """
 
 from __future__ import annotations
@@ -32,16 +41,47 @@ from repro.claims.functions import ClaimFunction
 from repro.claims.quality import ClaimQualityMeasure, QualityTerm
 from repro.uncertainty.database import UncertainDatabase
 from repro.uncertainty.distributions import DiscreteDistribution as DiscreteDistributionType
+from repro.uncertainty.distributions import convolve_support
 
 __all__ = [
     "expected_variance_exact",
     "expected_variance_monte_carlo",
     "linear_expected_variance",
     "weighted_sum_pmf",
+    "weighted_sum_pmf_arrays",
+    "weighted_sum_pmf_scalar",
     "measure_mean",
     "DecomposedEVCalculator",
     "make_ev_calculator",
 ]
+
+
+def weighted_sum_pmf_arrays(
+    database: UncertainDatabase,
+    indices: Sequence[int],
+    weights: Mapping[int, float],
+    offset: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pmf of ``offset + sum_i weights[i] * X_i`` as ``(values, probabilities)`` arrays.
+
+    Array-based sequential convolution over the (independent, discrete)
+    objects at ``indices``: each step forms the outer sum of the accumulated
+    support with the next object's weighted support and merges equal sums with
+    ``np.unique`` + ``np.bincount``.  Values come back sorted ascending.  This
+    is the workhorse of the fast per-term expected-variance path: a linear
+    perturbation claim's value distribution is exactly such a weighted sum.
+    """
+    values = np.array([float(offset)], dtype=float)
+    probabilities = np.array([1.0], dtype=float)
+    for index in indices:
+        distribution = database[index].distribution
+        if not isinstance(distribution, DiscreteDistributionType):
+            raise TypeError("weighted_sum_pmf requires discrete distributions")
+        weight = float(weights.get(index, 0.0))
+        values, probabilities = convolve_support(
+            values, probabilities, weight * distribution.values, distribution.probabilities
+        )
+    return values, probabilities
 
 
 def weighted_sum_pmf(
@@ -50,13 +90,25 @@ def weighted_sum_pmf(
     weights: Mapping[int, float],
     offset: float = 0.0,
 ) -> List[Tuple[float, float]]:
-    """Probability mass function of ``offset + sum_i weights[i] * X_i``.
+    """Pmf of ``offset + sum_i weights[i] * X_i`` as sorted ``(value, probability)`` pairs.
 
-    Computed by sequential convolution over the (independent, discrete)
-    objects at ``indices``; equal sums are merged, so the result is a compact
-    list of ``(value, probability)`` pairs.  This is the workhorse of the fast
-    per-term expected-variance path: a linear perturbation claim's value
-    distribution is exactly such a weighted sum.
+    Thin list-of-pairs view over :func:`weighted_sum_pmf_arrays`, kept for
+    callers that iterate the support; the kernels use the array form directly.
+    """
+    values, probabilities = weighted_sum_pmf_arrays(database, indices, weights, offset)
+    return list(zip(values.tolist(), probabilities.tolist()))
+
+
+def weighted_sum_pmf_scalar(
+    database: UncertainDatabase,
+    indices: Sequence[int],
+    weights: Mapping[int, float],
+    offset: float = 0.0,
+) -> List[Tuple[float, float]]:
+    """Reference dict-based convolution (the retained scalar path).
+
+    Semantically identical to :func:`weighted_sum_pmf`; kept as the ground
+    truth for the randomized kernel-equivalence tests.
     """
     pmf: Dict[float, float] = {float(offset): 1.0}
     for index in indices:
@@ -71,6 +123,38 @@ def weighted_sum_pmf(
                 next_pmf[key] = next_pmf.get(key, 0.0) + p * q
         pmf = next_pmf
     return sorted(pmf.items())
+
+
+# Shared trivial pmf (the empty-axes outer product); read-only.
+_SINGLETON_PROBABILITY = np.ones(1, dtype=float)
+_SINGLETON_PROBABILITY.setflags(write=False)
+
+# Rows per batched value-matrix block: bounds kernel memory at rows * n floats
+# even when a joint support has millions of worlds.
+_BATCH_ROWS = 4096
+
+
+def _iter_value_blocks(
+    base_values: np.ndarray,
+    free_indices: Sequence[int],
+    free_worlds: np.ndarray,
+    free_probabilities: np.ndarray,
+):
+    """Yield ``(matrix, block_probabilities)`` blocks of a free joint support.
+
+    Each matrix is a fresh ``(rows, n)`` tile of ``base_values`` with the free
+    columns assigned from ``free_worlds``; rows are capped at
+    :data:`_BATCH_ROWS` so a large joint support never materializes the full
+    ``worlds x n`` product at once.  Callers may overwrite further (cleaned)
+    columns of the yielded matrix in place.
+    """
+    free_indices = list(free_indices)
+    for start in range(0, free_worlds.shape[0], _BATCH_ROWS):
+        block = free_worlds[start : start + _BATCH_ROWS]
+        matrix = np.tile(base_values, (block.shape[0], 1))
+        if free_indices:
+            matrix[:, free_indices] = block
+        yield matrix, free_probabilities[start : start + _BATCH_ROWS]
 
 
 # --------------------------------------------------------------------------- #
@@ -107,6 +191,7 @@ def expected_variance_exact(
     database: UncertainDatabase,
     function: ClaimFunction,
     cleaned: Iterable[int],
+    vectorized: bool = True,
 ) -> float:
     """Exact EV(T) by enumerating the joint support of the referenced objects.
 
@@ -114,6 +199,10 @@ def expected_variance_exact(
     independent errors.  Complexity is exponential in the number of referenced
     objects, so this is only suitable for small instances and for validating
     the decomposed / Monte-Carlo computations.
+
+    The default path batches the free worlds into one ``(worlds, n)`` matrix
+    per cleaning outcome and evaluates the claim with ``evaluate_batch``;
+    ``vectorized=False`` runs the retained per-world scalar loop instead.
     """
     cleaned_set = frozenset(int(i) for i in cleaned)
     referenced = function.referenced_indices
@@ -122,14 +211,31 @@ def expected_variance_exact(
     cleaned_referenced = sorted(cleaned_set & referenced)
     free_referenced = sorted(referenced - cleaned_set)
 
-    expected = 0.0
-    for assignment, probability in database.enumerate_joint_support(cleaned_referenced):
-        first, second = _conditional_moments(
-            database, function, free_referenced, assignment, base_values
-        )
-        variance = max(second - first * first, 0.0)
-        expected += probability * variance
-    return float(expected)
+    if not vectorized:
+        expected = 0.0
+        for assignment, probability in database.enumerate_joint_support(cleaned_referenced):
+            first, second = _conditional_moments(
+                database, function, free_referenced, assignment, base_values
+            )
+            variance = max(second - first * first, 0.0)
+            expected += probability * variance
+        return float(expected)
+
+    cleaned_worlds, cleaned_probs = database.joint_support_arrays(cleaned_referenced)
+    free_worlds, free_probs = database.joint_support_arrays(free_referenced)
+    first = np.zeros(cleaned_worlds.shape[0], dtype=float)
+    second = np.zeros(cleaned_worlds.shape[0], dtype=float)
+    for matrix, block_probs in _iter_value_blocks(
+        base_values, free_referenced, free_worlds, free_probs
+    ):
+        for c, world in enumerate(cleaned_worlds):
+            if cleaned_referenced:
+                matrix[:, cleaned_referenced] = world
+            results = function.evaluate_batch(matrix)
+            first[c] += results @ block_probs
+            second[c] += (results * results) @ block_probs
+    conditional = np.maximum(second - first * first, 0.0)
+    return float(cleaned_probs @ conditional)
 
 
 def expected_variance_monte_carlo(
@@ -139,32 +245,44 @@ def expected_variance_monte_carlo(
     rng: np.random.Generator,
     outer_samples: int = 200,
     inner_samples: int = 200,
+    vectorized: bool = True,
 ) -> float:
     """Monte-Carlo estimate of EV(T).
 
     Samples cleaning outcomes for ``T`` (outer loop) and, for each outcome,
-    samples the remaining objects to estimate the conditional variance (inner
-    loop).  Works for any distribution family, including continuous normals.
+    samples the remaining objects to estimate the conditional variance.  Works
+    for any distribution family, including continuous normals.
+
+    The inner loop is a single tensor evaluation: one reusable
+    ``(inner_samples, n)`` matrix gets the cleaning outcome broadcast into the
+    cleaned columns and a vectorized ``distribution.sample(rng, size)`` draw
+    per free column, then one ``evaluate_batch`` call produces every inner
+    draw at once — no per-sample value-vector copies.  ``vectorized=False``
+    evaluates the identical sample matrix row by row (same RNG stream, so
+    fixed seeds give matching estimates), as the retained scalar reference.
     """
     cleaned_list = sorted(set(int(i) for i in cleaned))
     referenced = sorted(function.referenced_indices)
     free = [i for i in referenced if i not in cleaned_list]
-    base_values = database.current_values
 
     if not free:
         return 0.0
 
+    matrix = np.tile(database.current_values, (inner_samples, 1))
     total = 0.0
     for _ in range(outer_samples):
-        values = np.array(base_values, copy=True)
         for index in cleaned_list:
-            values[index] = database[index].sample(rng)
-        draws = np.empty(inner_samples, dtype=float)
-        for s in range(inner_samples):
-            inner_values = np.array(values, copy=True)
-            for index in free:
-                inner_values[index] = database[index].sample(rng)
-            draws[s] = function.evaluate(inner_values)
+            matrix[:, index] = database[index].sample(rng)
+        for index in free:
+            matrix[:, index] = database[index].sample(rng, size=inner_samples)
+        if vectorized:
+            draws = function.evaluate_batch(matrix)
+        else:
+            draws = np.fromiter(
+                (function.evaluate(row) for row in matrix),
+                dtype=float,
+                count=inner_samples,
+            )
         total += float(np.var(draws))
     return total / outer_samples
 
@@ -207,9 +325,20 @@ class DecomposedEVCalculator:
     Pairs of terms whose referenced sets are disjoint are independent under
     the independence assumption and contribute zero covariance; they are
     skipped entirely.
+
+    Every piece has two implementations selected by ``vectorized`` (default
+    True): the batched-array kernels (array pmf convolution for linear-claim
+    terms, ``joint_support_arrays`` + ``evaluate_batch`` grids for generic
+    terms and pairs) and the retained scalar loops, kept bit-compatible in
+    semantics for the randomized equivalence tests.
     """
 
-    def __init__(self, database: UncertainDatabase, measure: ClaimQualityMeasure):
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        measure: ClaimQualityMeasure,
+        vectorized: bool = True,
+    ):
         if not isinstance(measure, ClaimQualityMeasure):
             raise TypeError(
                 "the decomposed EV computation needs a claim-quality measure "
@@ -223,6 +352,7 @@ class DecomposedEVCalculator:
             )
         self.database = database
         self.measure = measure
+        self.vectorized = bool(vectorized)
         self.terms: List[QualityTerm] = measure.terms
         self._base_values = database.current_values
         # Pairs of terms that can ever be correlated (shared referenced objects).
@@ -232,8 +362,24 @@ class DecomposedEVCalculator:
             for l in range(k + 1, len(self.terms))
             if self.terms[k].referenced_indices & self.terms[l].referenced_indices
         ]
+        # Inverted indexes: object -> terms / interacting pairs referencing it.
+        # marginal_gain is called once per candidate per greedy round, so it
+        # must not scan all terms to find the handful that contain the
+        # candidate.
+        self._terms_by_object: Dict[int, List[int]] = {}
+        for k, term in enumerate(self.terms):
+            for i in term.referenced_indices:
+                self._terms_by_object.setdefault(i, []).append(k)
+        self._pairs_by_object: Dict[int, List[Tuple[int, int]]] = {}
+        for k, l in self._interacting_pairs:
+            union = self.terms[k].referenced_indices | self.terms[l].referenced_indices
+            for i in union:
+                self._pairs_by_object.setdefault(i, []).append((k, l))
         self._variance_cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
         self._covariance_cache: Dict[Tuple[int, int, FrozenSet[int]], float] = {}
+        # Per-term transformed outer-sum grids for the linear fast path
+        # (built lazily; None marks terms whose joint support is too large).
+        self._term_grid_cache: Dict[int, Optional[Tuple]] = {}
 
     # -- single-term pieces ------------------------------------------------ #
     def _term_expected_variance(self, k: int, cleaned: FrozenSet[int]) -> float:
@@ -250,22 +396,135 @@ class DecomposedEVCalculator:
             and term.transform is not None
             and term.claim.is_linear()
         ):
-            total = self._linear_term_expected_variance(term, sorted(relevant_cleaned), free)
+            total = self._linear_term_expected_variance(k, term, sorted(relevant_cleaned), free)
         else:
             total = self._generic_term_expected_variance(term, sorted(relevant_cleaned), free)
         self._variance_cache[key] = total
         return total
 
+    # Joint supports beyond this size skip the precomputed grid and fall back
+    # to the (merging) pmf-convolution kernel.
+    _GRID_SIZE_LIMIT = 200_000
+
+    def _linear_term_grid(self, k: int) -> Optional[Tuple]:
+        """Cached transformed outer-sum grid for the linear-claim term ``k``.
+
+        The term's claim value over its joint support is the outer sum of the
+        members' weighted supports (plus the intercept); the scalar transform
+        is applied exactly once over that grid.  Returns the cached tuple
+        ``(g, g_squared, position, probabilities, g_flat, g_squared_flat,
+        joint_probabilities)`` where ``g`` has one axis per member (axis order
+        = sorted members, ``position`` maps member -> axis), the ``*_flat``
+        entries are flattened views for the no-cleaning fast path and
+        ``joint_probabilities`` is the flattened outer product of all axis
+        probabilities.  Returns ``None`` when the joint support exceeds
+        :attr:`_GRID_SIZE_LIMIT`.
+        """
+        if k in self._term_grid_cache:
+            return self._term_grid_cache[k]
+        term = self.terms[k]
+        members = sorted(term.referenced_indices)
+        weights = term.claim.sparse_weights
+        contributions = []
+        probabilities = []
+        total = 1
+        for i in members:
+            distribution = self.database[i].distribution
+            contributions.append(float(weights.get(i, 0.0)) * distribution.values)
+            probabilities.append(distribution.probabilities)
+            total *= distribution.values.size
+        if total > self._GRID_SIZE_LIMIT:
+            self._term_grid_cache[k] = None
+            return None
+        grid = np.array(float(term.claim.intercept()), dtype=float)
+        for contribution in contributions:
+            grid = grid[..., None] + contribution
+        g = term.apply_transform(grid)
+        g_squared = g * g
+        position = {i: axis for axis, i in enumerate(members)}
+        joint_probs = self._axis_probabilities(probabilities, list(range(len(members))))
+        entry = (
+            g,
+            g_squared,
+            position,
+            probabilities,
+            g.reshape(-1),
+            g_squared.reshape(-1),
+            joint_probs,
+        )
+        self._term_grid_cache[k] = entry
+        return entry
+
+    @staticmethod
+    def _axis_probabilities(probabilities: List[np.ndarray], axes: Sequence[int]) -> np.ndarray:
+        """Flattened outer product of the per-axis probabilities at ``axes``."""
+        if not axes:
+            return _SINGLETON_PROBABILITY
+        flat = probabilities[axes[0]]
+        for axis in axes[1:]:
+            flat = (flat[:, None] * probabilities[axis]).reshape(-1)
+        return flat
+
     def _linear_term_expected_variance(
-        self, term: QualityTerm, cleaned: Sequence[int], free: Sequence[int]
+        self, k: int, term: QualityTerm, cleaned: Sequence[int], free: Sequence[int]
     ) -> float:
         """Fast path: the term is a scalar transform of a weighted sum.
 
-        The claim value splits into the cleaned part plus the free part; both
-        parts' distributions are one-dimensional weighted-sum pmfs, so the
-        expected conditional variance is a double loop over two compact pmfs
-        instead of an enumeration of full value vectors.
+        The expected conditional variance only needs the ``cleaned x free``
+        outer-sum grid of the term's support: the transform is applied once
+        per term (cached across every cleaned set the greedy loop visits) and
+        each evaluation reduces the grid with two matrix–vector products
+        against the free-world probabilities.  Terms whose joint support is
+        too large to materialize use the array pmf-convolution kernel instead,
+        which merges equal sums as it goes.
         """
+        if not self.vectorized:
+            return self._linear_term_expected_variance_scalar(term, cleaned, free)
+
+        grid_entry = self._linear_term_grid(k)
+        if grid_entry is not None:
+            g, g_squared, position, probabilities, g_flat, g_sq_flat, joint_probs = grid_entry
+            if not free:
+                # Every referenced object cleaned: the conditional variance is
+                # identically zero.
+                return 0.0
+            if not cleaned:
+                first = g_flat @ joint_probs
+                second = g_sq_flat @ joint_probs
+                return float(max(second - first * first, 0.0))
+            cleaned_axes = [position[i] for i in cleaned]
+            free_axes = [position[i] for i in free]
+            permutation = (*cleaned_axes, *free_axes)
+            cleaned_size = 1
+            for axis in cleaned_axes:
+                cleaned_size *= g.shape[axis]
+            g2d = g.transpose(permutation).reshape(cleaned_size, -1)
+            g2d_squared = g_squared.transpose(permutation).reshape(cleaned_size, -1)
+            free_probs = self._axis_probabilities(probabilities, free_axes)
+            cleaned_probs = self._axis_probabilities(probabilities, cleaned_axes)
+            first = g2d @ free_probs
+            second = g2d_squared @ free_probs
+            conditional = np.maximum(second - first * first, 0.0)
+            return float(cleaned_probs @ conditional)
+
+        weights = term.claim.sparse_weights
+        offset = term.claim.intercept()
+        cleaned_values, cleaned_probs = weighted_sum_pmf_arrays(
+            self.database, cleaned, weights, offset=offset
+        )
+        free_values, free_probs = weighted_sum_pmf_arrays(
+            self.database, free, weights, offset=0.0
+        )
+        grid = term.apply_transform(cleaned_values[:, None] + free_values[None, :])
+        first = grid @ free_probs
+        second = (grid * grid) @ free_probs
+        conditional = np.maximum(second - first * first, 0.0)
+        return float(cleaned_probs @ conditional)
+
+    def _linear_term_expected_variance_scalar(
+        self, term: QualityTerm, cleaned: Sequence[int], free: Sequence[int]
+    ) -> float:
+        """Retained scalar double loop over the two pmfs (reference path)."""
         weights = term.claim.sparse_weights
         offset = term.claim.intercept()
         cleaned_pmf = weighted_sum_pmf(self.database, cleaned, weights, offset=offset)
@@ -286,7 +545,38 @@ class DecomposedEVCalculator:
     def _generic_term_expected_variance(
         self, term: QualityTerm, cleaned: Sequence[int], free: Sequence[int]
     ) -> float:
-        """General path: enumerate full value vectors for arbitrary terms."""
+        """General path: batched value matrices for arbitrary terms.
+
+        The free worlds are streamed in bounded ``(rows, n)`` blocks; each
+        cleaned world is broadcast into the cleaned columns and the term is
+        evaluated with ``evaluate_batch`` — a per-row loop only for terms
+        without batchable structure.
+        """
+        if not self.vectorized:
+            return self._generic_term_expected_variance_scalar(term, cleaned, free)
+        cleaned = list(cleaned)
+        free = list(free)
+        cleaned_worlds, cleaned_probs = self.database.joint_support_arrays(cleaned)
+        free_worlds, free_probs = self.database.joint_support_arrays(free)
+
+        first = np.zeros(cleaned_worlds.shape[0], dtype=float)
+        second = np.zeros(cleaned_worlds.shape[0], dtype=float)
+        for matrix, block_probs in _iter_value_blocks(
+            self._base_values, free, free_worlds, free_probs
+        ):
+            for c, world in enumerate(cleaned_worlds):
+                if cleaned:
+                    matrix[:, cleaned] = world
+                g = term.evaluate_batch(matrix)
+                first[c] += g @ block_probs
+                second[c] += (g * g) @ block_probs
+        conditional = np.maximum(second - first * first, 0.0)
+        return float(cleaned_probs @ conditional)
+
+    def _generic_term_expected_variance_scalar(
+        self, term: QualityTerm, cleaned: Sequence[int], free: Sequence[int]
+    ) -> float:
+        """Retained scalar enumeration of full value vectors (reference path)."""
         total = 0.0
         for assignment, probability in self.database.enumerate_joint_support(cleaned):
             first = 0.0
@@ -315,8 +605,47 @@ class DecomposedEVCalculator:
             return self._covariance_cache[key]
 
         free = sorted(union - relevant_cleaned)
+        cleaned_sorted = sorted(relevant_cleaned)
+        if self.vectorized:
+            total = self._pair_expected_covariance_batched(
+                term_k, term_l, cleaned_sorted, free
+            )
+        else:
+            total = self._pair_expected_covariance_scalar(
+                term_k, term_l, cleaned_sorted, free
+            )
+        self._covariance_cache[key] = total
+        return total
+
+    def _pair_expected_covariance_batched(
+        self, term_k: QualityTerm, term_l: QualityTerm, cleaned: List[int], free: List[int]
+    ) -> float:
+        """Batched-matrix covariance: both terms evaluated per free-world block."""
+        cleaned_worlds, cleaned_probs = self.database.joint_support_arrays(cleaned)
+        free_worlds, free_probs = self.database.joint_support_arrays(free)
+
+        mean_k = np.zeros(cleaned_worlds.shape[0], dtype=float)
+        mean_l = np.zeros(cleaned_worlds.shape[0], dtype=float)
+        mean_kl = np.zeros(cleaned_worlds.shape[0], dtype=float)
+        for matrix, block_probs in _iter_value_blocks(
+            self._base_values, free, free_worlds, free_probs
+        ):
+            for c, world in enumerate(cleaned_worlds):
+                if cleaned:
+                    matrix[:, cleaned] = world
+                gk = term_k.evaluate_batch(matrix)
+                gl = term_l.evaluate_batch(matrix)
+                mean_k[c] += gk @ block_probs
+                mean_l[c] += gl @ block_probs
+                mean_kl[c] += (gk * gl) @ block_probs
+        return float(cleaned_probs @ (mean_kl - mean_k * mean_l))
+
+    def _pair_expected_covariance_scalar(
+        self, term_k: QualityTerm, term_l: QualityTerm, cleaned: List[int], free: List[int]
+    ) -> float:
+        """Retained scalar enumeration (reference path)."""
         total = 0.0
-        for assignment, probability in self.database.enumerate_joint_support(sorted(relevant_cleaned)):
+        for assignment, probability in self.database.enumerate_joint_support(cleaned):
             mean_k = 0.0
             mean_l = 0.0
             mean_kl = 0.0
@@ -332,7 +661,6 @@ class DecomposedEVCalculator:
                 mean_l += free_probability * gl
                 mean_kl += free_probability * gk * gl
             total += probability * (mean_kl - mean_k * mean_l)
-        self._covariance_cache[key] = total
         return total
 
     # -- public API ---------------------------------------------------------- #
@@ -359,15 +687,12 @@ class DecomposedEVCalculator:
             return 0.0
         extended = cleaned_set | {candidate}
         gain = 0.0
-        for k, term in enumerate(self.terms):
-            if candidate in term.referenced_indices:
-                gain += self._term_expected_variance(k, cleaned_set)
-                gain -= self._term_expected_variance(k, extended)
-        for k, l in self._interacting_pairs:
-            union = self.terms[k].referenced_indices | self.terms[l].referenced_indices
-            if candidate in union:
-                gain += 2.0 * self._pair_expected_covariance(k, l, cleaned_set)
-                gain -= 2.0 * self._pair_expected_covariance(k, l, extended)
+        for k in self._terms_by_object.get(candidate, ()):
+            gain += self._term_expected_variance(k, cleaned_set)
+            gain -= self._term_expected_variance(k, extended)
+        for k, l in self._pairs_by_object.get(candidate, ()):
+            gain += 2.0 * self._pair_expected_covariance(k, l, cleaned_set)
+            gain -= 2.0 * self._pair_expected_covariance(k, l, extended)
         return float(gain)
 
     @property
@@ -383,8 +708,9 @@ class DecomposedEVCalculator:
 def measure_mean(database: UncertainDatabase, measure: ClaimQualityMeasure) -> float:
     """Expected value of a claim-quality measure over the database's worlds.
 
-    Sums per-term expectations; linear-claim terms use the weighted-sum pmf
-    fast path, other terms enumerate their referenced objects' joint support.
+    Sums per-term expectations; linear-claim terms use the array weighted-sum
+    pmf fast path (one vectorized transform + dot product per term), other
+    terms evaluate batched joint-support matrices of their referenced objects.
     """
     total = 0.0
     base_values = database.current_values
@@ -395,34 +721,44 @@ def measure_mean(database: UncertainDatabase, measure: ClaimQualityMeasure) -> f
             and term.claim.is_linear()
             and database.all_discrete()
         ):
-            pmf = weighted_sum_pmf(
+            values, probabilities = weighted_sum_pmf_arrays(
                 database,
                 sorted(term.referenced_indices),
                 term.claim.sparse_weights,
                 offset=term.claim.intercept(),
             )
-            total += sum(p * term.transform(v) for v, p in pmf)
+            total += float(probabilities @ term.apply_transform(values))
             continue
-        expectation = 0.0
-        for assignment, probability in database.enumerate_joint_support(
-            sorted(term.referenced_indices)
+        referenced = sorted(term.referenced_indices)
+        worlds, probabilities = database.joint_support_arrays(referenced)
+        for matrix, block_probs in _iter_value_blocks(
+            base_values, referenced, worlds, probabilities
         ):
-            values = np.array(base_values, copy=True)
-            for index, value in assignment.items():
-                values[index] = value
-            expectation += probability * term(values)
-        total += expectation
+            total += float(block_probs @ term.evaluate_batch(matrix))
     return float(total)
 
 
 def make_ev_calculator(database: UncertainDatabase, function: ClaimFunction):
     """Return a callable ``ev(cleaned) -> float`` choosing the best strategy.
 
-    * claim-quality measures on discrete databases use the Theorem 3.8
-      decomposition;
-    * linear claims with uncorrelated errors use the closed form;
-    * anything else falls back to exact enumeration (small referenced sets
-      only).
+    Strategy table (first matching row wins):
+
+    ========================  =======================  ===========================
+    query function            database                 kernel
+    ========================  =======================  ===========================
+    ClaimQualityMeasure       all-discrete             Theorem 3.8 decomposition
+                                                       (vectorized, memoized)
+    linear claim              any (uncorrelated)       Lemma 3.1 closed form
+    anything else             all-discrete supports    exact enumeration over
+                                                       batched joint supports
+    ========================  =======================  ===========================
+
+    The decomposed and exact rows both run the batched-array kernels
+    (``joint_support_arrays`` worlds + ``evaluate_batch`` claims, array pmf
+    convolution for linear-claim terms); pass ``vectorized=False`` to
+    :class:`DecomposedEVCalculator` / :func:`expected_variance_exact` directly
+    for the retained scalar reference paths.  Exact enumeration is exponential
+    in the referenced set, so it only suits small instances.
     """
     if isinstance(function, ClaimQualityMeasure) and database.all_discrete():
         calculator = DecomposedEVCalculator(database, function)

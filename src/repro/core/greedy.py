@@ -117,17 +117,20 @@ def greedy_select(
             selected_set.add(index)
             spent += costs[index]
     elif adaptive:
+        # Feasibility is monotone (spent only grows), so a boolean mask pruned
+        # in place replaces the O(n) candidate-list rebuild of each round.
+        feasible = np.ones(n, dtype=bool)
         while True:
-            candidates = [
-                i for i in range(n) if i not in selected_set and spent + costs[i] <= budget + 1e-9
-            ]
-            if not candidates:
+            feasible &= (spent + costs) <= budget + 1e-9
+            candidates = np.flatnonzero(feasible)
+            if candidates.size == 0:
                 break
-            best = max(candidates, key=lambda i: score(i, selected))
+            best = int(max(candidates, key=lambda i: score(int(i), selected)))
             if stop_when_no_gain and benefit(selected, best) <= 1e-15:
                 break
             selected.append(best)
             selected_set.add(best)
+            feasible[best] = False
             spent += costs[best]
     else:
         static_benefits = np.array([benefit((), i) for i in range(n)], dtype=float)
@@ -318,30 +321,45 @@ class GreedyMinVar(_SelectionAlgorithm):
                 neighbours[i].update(members)
 
         gains = np.array([calculator.marginal_gain([], i) for i in range(n)], dtype=float)
+        # Standalone (empty-set) gains double as the safeguard inputs below.
+        standalone_gains = gains.copy()
         selected: List[int] = []
         selected_set: Set[int] = set()
+        feasible = np.ones(n, dtype=bool)
         spent = 0.0
+        # Feasibility is monotone (spent only grows), so a mask pruned in
+        # place replaces the O(n) candidate-list rebuild of each round, and
+        # the benefit/cost ratios are maintained incrementally (-inf marks
+        # selected or unaffordable objects) so each round is one argmax.
+        ratios = gains / costs
         while True:
-            candidates = [
-                i for i in range(n) if i not in selected_set and spent + costs[i] <= budget + 1e-9
-            ]
-            if not candidates:
+            pruned = feasible & ((spent + costs) > budget + 1e-9)
+            if pruned.any():
+                feasible &= ~pruned
+                ratios[pruned] = -np.inf
+            if not feasible.any():
                 break
-            best = max(candidates, key=lambda i: gains[i] / costs[i])
+            best = int(np.argmax(ratios))
             selected.append(best)
             selected_set.add(best)
+            feasible[best] = False
+            ratios[best] = -np.inf
             spent += costs[best]
             for i in neighbours[best]:
                 if i not in selected_set:
                     gains[i] = calculator.marginal_gain(selected, i)
+                    if feasible[i]:
+                        ratios[i] = gains[i] / costs[i]
 
         # Single-item safeguard (lines 5-8 of Algorithm 1), using standalone gains.
-        remaining = [i for i in range(n) if i not in selected_set and costs[i] <= budget + 1e-9]
-        if remaining:
-            standalone = {i: calculator.marginal_gain([], i) for i in remaining}
-            best_single = max(remaining, key=lambda i: standalone[i])
-            chosen_total = sum(calculator.marginal_gain([], i) for i in selected)
-            if standalone[best_single] > chosen_total:
+        remaining_mask = np.ones(n, dtype=bool)
+        if selected:
+            remaining_mask[selected] = False
+        remaining_mask &= costs <= budget + 1e-9
+        if remaining_mask.any():
+            best_single = int(np.argmax(np.where(remaining_mask, standalone_gains, -np.inf)))
+            chosen_total = float(standalone_gains[selected].sum()) if selected else 0.0
+            if standalone_gains[best_single] > chosen_total:
                 return [best_single]
         return selected
 
@@ -353,6 +371,13 @@ class GreedyMaxPr(_SelectionAlgorithm):
     probability of finding a counterargument.  Selection stops early when no
     candidate increases the probability (cleaning more would only hurt, the
     behaviour Figure 12 documents).
+
+    Evaluated-set probabilities are cached on the instance and shared across
+    calls for the *same database object*, so budget sweeps reuse every
+    already-evaluated set instead of recomputing it per budget.  The cache
+    resets automatically when ``select_indices`` sees a different database;
+    :meth:`reset_cache` is the explicit reset point that keeps long sweeps
+    from growing the cache unbounded.
     """
 
     name = "GreedyMaxPr"
@@ -370,8 +395,18 @@ class GreedyMaxPr(_SelectionAlgorithm):
         self.rng = rng
         self.monte_carlo_samples = monte_carlo_samples
         self.method = method
+        self._cache: dict = {}
+        self._cache_database: Optional[UncertainDatabase] = None
+
+    def reset_cache(self) -> None:
+        """Drop all cached set probabilities (the documented reset point)."""
+        self._cache.clear()
+        self._cache_database = None
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        if self._cache_database is not database:
+            self.reset_cache()
+            self._cache_database = database
         probability = make_surprise_calculator(
             database,
             self.function,
@@ -380,7 +415,7 @@ class GreedyMaxPr(_SelectionAlgorithm):
             monte_carlo_samples=self.monte_carlo_samples,
             method=self.method,
         )
-        cache = {}
+        cache = self._cache
 
         def pr(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -409,6 +444,11 @@ class GreedyDep(_SelectionAlgorithm):
     Schur-complement conditional variance of the multivariate normal
     (statistically exact) or the marginal variance of the objects left
     unclean (the formulation the paper's Theorem 3.9 derivation uses).
+
+    Post-cleaning variances are cached on the instance and shared across
+    calls for the *same database object* (budget sweeps reuse them); the
+    cache resets automatically on a new database and :meth:`reset_cache` is
+    the explicit reset point that keeps long sweeps from growing it unbounded.
     """
 
     name = "GreedyDep"
@@ -419,11 +459,21 @@ class GreedyDep(_SelectionAlgorithm):
         self.function = function
         self.model = model
         self.conditional = conditional
+        self._cache: dict = {}
+        self._cache_database: Optional[UncertainDatabase] = None
+
+    def reset_cache(self) -> None:
+        """Drop all cached post-cleaning variances (the documented reset point)."""
+        self._cache.clear()
+        self._cache_database = None
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        if self._cache_database is not database:
+            self.reset_cache()
+            self._cache_database = database
         weights = self.function.weights(len(database))
         n = len(database)
-        cache = {}
+        cache = self._cache
 
         def variance_after(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)

@@ -43,8 +43,10 @@ class WorldSampler:
         function: ClaimFunction,
         samples: int = 2000,
     ) -> np.ndarray:
-        """Sample the query-function value over worlds of the given database."""
-        draws = np.empty(samples, dtype=float)
-        for s in range(samples):
-            draws[s] = function.evaluate(database.sample_world(self.rng))
-        return draws
+        """Sample the query-function value over worlds of the given database.
+
+        Draws all worlds in one batched ``sample_worlds`` call and evaluates
+        the ``(samples, n)`` matrix with a single ``evaluate_batch`` call.
+        """
+        worlds = database.sample_worlds(self.rng, samples)
+        return np.asarray(function.evaluate_batch(worlds), dtype=float)

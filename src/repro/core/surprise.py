@@ -29,7 +29,7 @@ from scipy import stats
 
 from repro.claims.functions import ClaimFunction
 from repro.uncertainty.database import UncertainDatabase
-from repro.uncertainty.distributions import NormalSpec
+from repro.uncertainty.distributions import NormalSpec, convolve_support
 
 __all__ = [
     "surprise_probability_exact",
@@ -40,18 +40,26 @@ __all__ = [
 ]
 
 
+_EXACT_BATCH_ROWS = 4096  # rows per batched block: bounds the (rows, n) matrix
+
+
 def surprise_probability_exact(
     database: UncertainDatabase,
     function: ClaimFunction,
     cleaned: Iterable[int],
     tau: float = 0.0,
     baseline: Optional[float] = None,
+    vectorized: bool = True,
 ) -> float:
     """Exact MaxPr objective by enumerating the cleaning outcomes of ``T``.
 
     Only the cleaned objects are random; everything else stays at its current
     value, so the enumeration is over ``V_T`` alone (restricted further to the
-    objects the query function references).
+    objects the query function references — cleaned objects the function
+    ignores cannot change ``f``).  The default path evaluates the joint
+    support in batched ``(worlds, n)`` blocks with ``evaluate_batch``;
+    ``vectorized=False`` walks the worlds one dict at a time (the retained
+    scalar reference).
     """
     cleaned_set = sorted(set(int(i) for i in cleaned))
     if not cleaned_set:
@@ -60,16 +68,27 @@ def surprise_probability_exact(
     target = (function.evaluate(current) if baseline is None else baseline) - tau
 
     relevant = [i for i in cleaned_set if i in function.referenced_indices]
-    irrelevant_probability = 1.0  # cleaned objects the function ignores cannot change f
     if not relevant:
         return 0.0
 
+    if not vectorized:
+        probability = 0.0
+        for assignment, p in database.enumerate_joint_support(relevant):
+            values = database.values_with_assignment(assignment)
+            if function.evaluate(values) < target - 1e-12:
+                probability += p
+        return float(probability)
+
+    worlds, probabilities = database.joint_support_arrays(relevant)
     probability = 0.0
-    for assignment, p in database.enumerate_joint_support(relevant):
-        values = database.values_with_assignment(assignment)
-        if function.evaluate(values) < target - 1e-12:
-            probability += p
-    return float(probability * irrelevant_probability)
+    for start in range(0, worlds.shape[0], _EXACT_BATCH_ROWS):
+        block = worlds[start : start + _EXACT_BATCH_ROWS]
+        block_probs = probabilities[start : start + _EXACT_BATCH_ROWS]
+        matrix = np.tile(current, (block.shape[0], 1))
+        matrix[:, relevant] = block
+        results = function.evaluate_batch(matrix)
+        probability += float(block_probs[results < target - 1e-12].sum())
+    return float(probability)
 
 
 def surprise_probability_monte_carlo(
@@ -80,22 +99,33 @@ def surprise_probability_monte_carlo(
     tau: float = 0.0,
     samples: int = 2000,
     baseline: Optional[float] = None,
+    vectorized: bool = True,
 ) -> float:
-    """Monte-Carlo estimate of the MaxPr objective."""
+    """Monte-Carlo estimate of the MaxPr objective.
+
+    Draws every cleaning outcome in one vectorized
+    ``distribution.sample(rng, size=samples)`` call per cleaned column and
+    evaluates the whole ``(samples, n)`` matrix with one ``evaluate_batch``
+    call.  ``vectorized=False`` evaluates the identical sample matrix row by
+    row (same RNG stream, so fixed seeds match), as the retained scalar
+    reference.
+    """
     cleaned_set = sorted(set(int(i) for i in cleaned))
     if not cleaned_set:
         return 0.0
     current = database.current_values
     target = (function.evaluate(current) if baseline is None else baseline) - tau
 
-    hits = 0
-    for _ in range(samples):
-        values = np.array(current, copy=True)
-        for index in cleaned_set:
-            values[index] = database[index].sample(rng)
-        if function.evaluate(values) < target - 1e-12:
-            hits += 1
-    return hits / samples
+    matrix = np.tile(current, (samples, 1))
+    for index in cleaned_set:
+        matrix[:, index] = database[index].sample(rng, size=samples)
+    if vectorized:
+        results = function.evaluate_batch(matrix)
+    else:
+        results = np.fromiter(
+            (function.evaluate(row) for row in matrix), dtype=float, count=samples
+        )
+    return float(np.count_nonzero(results < target - 1e-12)) / samples
 
 
 def surprise_probability_normal_linear(
@@ -149,11 +179,11 @@ def surprise_probability_discrete_linear(
     Only the cleaned objects are re-drawn, so
     ``f(X') - f(u) = sum_{i in T} w_i (X_i - u_i)`` — a weighted sum of
     independent discrete variables.  Its distribution is computed exactly by
-    sequential convolution (merging equal sums) as long as the number of
-    outcomes stays below ``max_exact_outcomes``; beyond that the sum of many
-    independent bounded terms is well approximated by a normal and the
-    objective falls back to the central-limit closed form (the same shape as
-    Lemma 3.3).
+    array-based sequential convolution (outer sums merged with ``np.unique``)
+    as long as the number of outcomes stays below ``max_exact_outcomes``;
+    beyond that the sum of many independent bounded terms is well approximated
+    by a normal and the objective falls back to the central-limit closed form
+    (the same shape as Lemma 3.3).
     """
     cleaned_set = sorted(set(int(i) for i in cleaned))
     if not cleaned_set:
@@ -187,15 +217,16 @@ def surprise_probability_discrete_linear(
             return 1.0 if mean_shift < -tau else 0.0
         return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
 
-    pmf = {0.0: 1.0}
+    drops = np.zeros(1, dtype=float)
+    masses = np.ones(1, dtype=float)
     for obj, distribution, weight in relevant:
-        next_pmf = {}
-        for partial, p in pmf.items():
-            for value, q in zip(distribution.values, distribution.probabilities):
-                key = partial + weight * (float(value) - obj.current_value)
-                next_pmf[key] = next_pmf.get(key, 0.0) + p * q
-        pmf = next_pmf
-        if len(pmf) > max_exact_outcomes:
+        drops, masses = convolve_support(
+            drops,
+            masses,
+            weight * (distribution.values - obj.current_value),
+            distribution.probabilities,
+        )
+        if drops.size > max_exact_outcomes:
             # The merged support still blew up (irregular values); restart with
             # the central-limit fallback rather than grinding on.
             mean_shift = sum(w * (d.mean - o.current_value) for o, d, w in relevant)
@@ -204,7 +235,7 @@ def surprise_probability_discrete_linear(
                 return 1.0 if mean_shift < -tau else 0.0
             return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
 
-    return float(sum(p for drop, p in pmf.items() if drop < -tau - 1e-12))
+    return float(masses[drops < -tau - 1e-12].sum())
 
 
 def make_surprise_calculator(

@@ -3,12 +3,19 @@
 This is the substrate every algorithm in :mod:`repro.core` operates on.  It
 exposes:
 
-* vectorized views of current values, means, variances and costs;
+* vectorized views of current values, means, variances and costs — computed
+  once at construction (the database is immutable) and returned as read-only
+  arrays, so greedy loops can read them every round without rebuilding lists;
 * enumeration of the joint support of any subset of objects (assuming
-  independent errors, the setting of Lemmas 3.2--3.6 and Theorem 3.8);
-* world sampling (for Monte-Carlo estimators and the "in action" experiments);
+  independent errors, the setting of Lemmas 3.2--3.6 and Theorem 3.8), both
+  as a lazy generator (:meth:`UncertainDatabase.enumerate_joint_support`) and
+  as batched ``(worlds, k)`` arrays (:meth:`UncertainDatabase.joint_support_arrays`)
+  for the vectorized kernels;
+* world sampling (for Monte-Carlo estimators and the "in action" experiments),
+  batched column-by-column through ``distribution.sample(rng, size)``;
 * conditioning: producing the database that results from cleaning a subset of
-  objects to specific revealed values.
+  objects to specific revealed values (``with_current_values`` / ``cleaned`` /
+  ``subset`` always return fresh instances with their own cached vectors).
 """
 
 from __future__ import annotations
@@ -42,6 +49,21 @@ class UncertainDatabase:
             raise ValueError(f"duplicate object names: {duplicates}")
         self._objects: List[UncertainObject] = objects
         self._index_by_name: Dict[str, int] = {obj.name: i for i, obj in enumerate(objects)}
+        # Objects are immutable (frozen dataclasses), so the vector views can
+        # be materialized once and shared.  They are marked read-only; callers
+        # that need a scratch vector copy first (as they already did).
+        self._current_values = self._frozen([obj.current_value for obj in objects])
+        self._means = self._frozen([obj.mean for obj in objects])
+        self._variances = self._frozen([obj.variance for obj in objects])
+        self._costs = self._frozen([obj.cost for obj in objects])
+        self._stds = self._frozen(np.sqrt(self._variances))
+        self._total_cost = float(self._costs.sum())
+
+    @staticmethod
+    def _frozen(values) -> np.ndarray:
+        array = np.array(values, dtype=float)
+        array.setflags(write=False)
+        return array
 
     # ------------------------------------------------------------------ #
     # Basic container protocol
@@ -83,32 +105,32 @@ class UncertainDatabase:
     # ------------------------------------------------------------------ #
     @property
     def current_values(self) -> np.ndarray:
-        """The vector ``u`` of current (reported) values."""
-        return np.array([obj.current_value for obj in self._objects], dtype=float)
+        """The vector ``u`` of current (reported) values (read-only view)."""
+        return self._current_values
 
     @property
     def means(self) -> np.ndarray:
-        """Per-object means of the true-value distributions."""
-        return np.array([obj.mean for obj in self._objects], dtype=float)
+        """Per-object means of the true-value distributions (read-only view)."""
+        return self._means
 
     @property
     def variances(self) -> np.ndarray:
-        """Per-object variances of the true-value distributions."""
-        return np.array([obj.variance for obj in self._objects], dtype=float)
+        """Per-object variances of the true-value distributions (read-only view)."""
+        return self._variances
 
     @property
     def stds(self) -> np.ndarray:
-        return np.sqrt(self.variances)
+        return self._stds
 
     @property
     def costs(self) -> np.ndarray:
-        """Per-object cleaning costs ``c_i``."""
-        return np.array([obj.cost for obj in self._objects], dtype=float)
+        """Per-object cleaning costs ``c_i`` (read-only view)."""
+        return self._costs
 
     @property
     def total_cost(self) -> float:
         """Cost of cleaning every object."""
-        return float(self.costs.sum())
+        return self._total_cost
 
     def max_support_size(self) -> int:
         """Largest discrete support size among the objects (``V`` in Thm 3.8)."""
@@ -208,6 +230,47 @@ class UncertainDatabase:
             if probability > 0.0:
                 yield assignment, probability
 
+    def joint_support_arrays(
+        self, indices: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Joint support of the objects at ``indices`` as batched arrays.
+
+        Returns ``(values_matrix, probabilities)`` where ``values_matrix`` has
+        shape ``(worlds, len(indices))`` — column ``j`` holds the values taken
+        by object ``indices[j]`` — and ``probabilities`` has shape
+        ``(worlds,)``.  The row order matches
+        :meth:`enumerate_joint_support` exactly (last index varies fastest)
+        and zero-probability worlds are dropped, so the two views are
+        interchangeable.  This is the input format of the vectorized
+        expected-variance and surprise kernels, which assign the matrix into
+        the referenced columns of a batched value matrix instead of walking
+        per-world Python dicts.
+        """
+        indices = list(indices)
+        if not indices:
+            return np.zeros((1, 0), dtype=float), np.ones(1, dtype=float)
+        supports = []
+        weights = []
+        for i in indices:
+            dist = self._objects[i].distribution
+            if not isinstance(dist, DiscreteDistribution):
+                raise TypeError(
+                    f"object {self._objects[i].name!r} has a continuous distribution; "
+                    "call .discretized() before enumerating worlds"
+                )
+            supports.append(dist.values)
+            weights.append(dist.probabilities)
+        value_grids = np.meshgrid(*supports, indexing="ij")
+        values_matrix = np.stack([grid.reshape(-1) for grid in value_grids], axis=1)
+        probabilities = np.ones(values_matrix.shape[0], dtype=float)
+        for grid in np.meshgrid(*weights, indexing="ij"):
+            probabilities = probabilities * grid.reshape(-1)
+        keep = probabilities > 0.0
+        if not keep.all():
+            values_matrix = values_matrix[keep]
+            probabilities = probabilities[keep]
+        return values_matrix, probabilities
+
     def joint_support_size(self, indices: Sequence[int]) -> int:
         """Number of joint outcomes for the objects at ``indices``."""
         size = 1
@@ -226,8 +289,20 @@ class UncertainDatabase:
         return np.array([obj.sample(rng) for obj in self._objects], dtype=float)
 
     def sample_worlds(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        """Draw ``count`` worlds; returns an array of shape ``(count, n)``."""
-        return np.stack([self.sample_world(rng) for _ in range(count)])
+        """Draw ``count`` worlds; returns an array of shape ``(count, n)``.
+
+        Sampling is batched column by column through
+        ``distribution.sample(rng, size=count)``, so the cost is one vectorized
+        draw per object instead of ``count * n`` scalar draws.  (The stream of
+        random numbers therefore differs from calling :meth:`sample_world`
+        ``count`` times, but any fixed seed still yields a reproducible batch.)
+        """
+        if count <= 0:
+            return np.zeros((0, len(self)), dtype=float)
+        worlds = np.empty((count, len(self)), dtype=float)
+        for j, obj in enumerate(self._objects):
+            worlds[:, j] = obj.distribution.sample(rng, size=count)
+        return worlds
 
     def values_with_assignment(
         self, assignment: Mapping[int, float], base: Optional[np.ndarray] = None

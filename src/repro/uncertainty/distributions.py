@@ -25,7 +25,32 @@ __all__ = [
     "DiscreteDistribution",
     "NormalSpec",
     "discretize_normal",
+    "convolve_support",
 ]
+
+
+def convolve_support(
+    values: np.ndarray,
+    probabilities: np.ndarray,
+    contributions: np.ndarray,
+    contribution_probabilities: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One array-convolution step: add an independent term to a discrete pmf.
+
+    Forms the outer sum of the accumulated support ``values`` with the new
+    term's ``contributions``, multiplies the probabilities, and merges equal
+    sums (``np.unique`` + ``np.bincount``).  Returns the merged
+    ``(values, probabilities)`` with values sorted ascending.  This is the
+    shared kernel behind the weighted-sum pmf of the expected-variance path
+    and the drop-distribution convolution of the MaxPr path.
+    """
+    sums = (values[:, None] + contributions[None, :]).reshape(-1)
+    mass = (probabilities[:, None] * contribution_probabilities[None, :]).reshape(-1)
+    merged_values, inverse = np.unique(sums, return_inverse=True)
+    merged_probabilities = np.bincount(
+        inverse.reshape(-1), weights=mass, minlength=merged_values.size
+    )
+    return merged_values, merged_probabilities
 
 _PROBABILITY_TOLERANCE = 1e-9
 

@@ -113,9 +113,14 @@ class UncertainObject:
         """Return a copy with a different cleaning cost."""
         return replace(self, cost=float(cost))
 
-    def sample(self, rng: np.random.Generator) -> float:
-        """Draw one possible true value."""
-        return self.distribution.sample(rng)
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw possible true values; a scalar when ``size`` is None.
+
+        With ``size`` the draw is a single vectorized call into the
+        distribution, which is what the batched world sampling and the
+        Monte-Carlo kernels use to avoid per-sample Python overhead.
+        """
+        return self.distribution.sample(rng, size=size)
 
     def __repr__(self) -> str:
         kind = "normal" if self.is_normal else f"discrete[{self.distribution.support_size}]"
