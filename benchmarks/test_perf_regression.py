@@ -26,14 +26,22 @@ from repro.core.expected_variance import (
     weighted_sum_pmf,
 )
 from repro.core.greedy import GreedyMinVar
+from repro.core.problems import budget_from_fraction
 from repro.experiments.efficiency import _build_scaled_workload
+from repro.experiments.sweeps import run_budget_sweep
 
 # Generous: the measured time is ~0.1 s; a 30x margin absorbs slow CI hosts
 # while still catching a return to the pure-Python kernels (~0.44 s locally,
 # proportionally slower on the same slow hosts only by the same factor).
 GREEDY_CEILING_SECONDS = 3.0
 
+# The sweep engine's contract (ISSUE 2 acceptance): a 6-budget GreedyMinVar
+# sweep at n = 2,000 costs at most this multiple of ONE full-budget run.
+SWEEP_RATIO_CEILING = 1.5
+SWEEP_FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.5, 1.0)
+
 ARTIFACT_PATH = Path(__file__).parent / "BENCH_kernels.json"
+SWEEP_ARTIFACT_PATH = Path(__file__).parent / "BENCH_sweeps.json"
 
 
 def _time(callable_, repeats: int = 3) -> float:
@@ -100,4 +108,93 @@ def test_decomposed_greedy_n2000_smoke(benchmark, report):
         "Perf regression smoke (n=2000 decomposed-EV greedy): "
         f"{greedy_seconds:.3f}s (ceiling {GREEDY_CEILING_SECONDS}s); "
         f"artifact -> {ARTIFACT_PATH.name}"
+    )
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_sweep_engine_single_trace_n2000(benchmark, report):
+    """The trace-based sweep engine vs. per-budget re-runs (BENCH_sweeps.json).
+
+    Times three ways of producing the same 6-budget GreedyMinVar sweep on the
+    n = 2,000 URx uniqueness workload:
+
+    * one full-budget greedy run (the lower bound any sweep can hope for);
+    * the sweep engine's single-trace path (one trace + per-budget slices);
+    * per-budget from-scratch re-runs with cold calculators (the seed's
+      behaviour before the solver-trace refactor).
+
+    Asserts the ISSUE-2 acceptance criterion — traced sweep <= 1.5x a single
+    full-budget run — verifies the three agree row-for-row, and writes the
+    timings to ``BENCH_sweeps.json`` for the perf trajectory.
+    """
+    workload = _build_scaled_workload(2000, 100.0, 3)
+    function = workload.query_function
+    database = workload.database
+    full_budget = budget_from_fraction(database, 1.0)
+
+    # Warm-up: take numpy / import costs out of the first timed run.
+    GreedyMinVar(function).select_indices(database, budget_from_fraction(database, 0.02))
+
+    start = time.perf_counter()
+    GreedyMinVar(function).select_indices(database, full_budget)
+    single_run_seconds = time.perf_counter() - start
+
+    def traced_sweep():
+        calculator = DecomposedEVCalculator(database, function)
+        return run_budget_sweep(
+            database,
+            {"GreedyMinVar": GreedyMinVar(function, calculator=calculator)},
+            calculator.expected_variance,
+            budget_fractions=SWEEP_FRACTIONS,
+            use_traces=True,
+        )
+
+    start = time.perf_counter()
+    traced = run_once(benchmark, traced_sweep)
+    traced_seconds = time.perf_counter() - start
+
+    # Per-budget re-runs with a fresh solver and calculator per budget: the
+    # O(budgets x greedy-run) shape the trace engine removes.
+    start = time.perf_counter()
+    cold_series = []
+    cold_selections = []
+    for fraction in SWEEP_FRACTIONS:
+        calculator = DecomposedEVCalculator(database, function)
+        solver = GreedyMinVar(function, calculator=calculator)
+        selected = tuple(solver.select_indices(database, budget_from_fraction(database, fraction)))
+        cold_selections.append(selected)
+        cold_series.append(calculator.expected_variance(selected))
+    per_budget_cold_seconds = time.perf_counter() - start
+
+    assert traced.selections["GreedyMinVar"] == cold_selections, (
+        "the traced sweep must reproduce per-budget re-runs exactly"
+    )
+    assert all(
+        abs(a - b) <= 1e-12 for a, b in zip(traced.series["GreedyMinVar"], cold_series)
+    ), "the traced sweep's objective series must match per-budget re-runs"
+    ratio = traced_seconds / max(single_run_seconds, 1e-9)
+    assert ratio <= SWEEP_RATIO_CEILING, (
+        f"6-budget traced sweep took {traced_seconds:.3f}s = {ratio:.2f}x a single "
+        f"full-budget run ({single_run_seconds:.3f}s); ceiling {SWEEP_RATIO_CEILING}x"
+    )
+
+    artifact = {
+        "n_objects": 2000,
+        "budget_fractions": list(SWEEP_FRACTIONS),
+        "single_full_budget_run_seconds": single_run_seconds,
+        "traced_sweep_seconds": traced_seconds,
+        "per_budget_cold_rerun_seconds": per_budget_cold_seconds,
+        "traced_over_single_ratio": ratio,
+        "cold_over_traced_speedup": per_budget_cold_seconds / max(traced_seconds, 1e-9),
+        "ratio_ceiling": SWEEP_RATIO_CEILING,
+    }
+    SWEEP_ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    report(
+        "Sweep engine (n=2000, 6 budgets): "
+        f"single run {single_run_seconds:.3f}s, traced sweep {traced_seconds:.3f}s "
+        f"({ratio:.2f}x, ceiling {SWEEP_RATIO_CEILING}x), "
+        f"cold per-budget re-runs {per_budget_cold_seconds:.3f}s "
+        f"({per_budget_cold_seconds / max(traced_seconds, 1e-9):.1f}x the traced sweep); "
+        f"artifact -> {SWEEP_ARTIFACT_PATH.name}"
     )

@@ -12,6 +12,11 @@ Examples
     python -m repro.cli counters --dataset cdc_firearms
 
 Every subcommand prints the same rows the corresponding paper figure plots.
+
+The subcommands are not wired by hand: they are derived from the experiment
+registry (:mod:`repro.experiments.registry`), populated by the declarative
+specs in :mod:`repro.experiments.specs`.  Registering a new experiment there
+makes it appear here automatically.
 """
 
 from __future__ import annotations
@@ -20,26 +25,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.experiments import figures
-from repro.experiments.reporting import format_rows, format_series_table
+from repro.experiments.registry import experiment_specs, get_experiment
+from repro.experiments.reporting import format_rows
+# Importing the specs module populates the experiment registry.
+from repro.experiments.specs import DEFAULT_CLI_BUDGETS
 
 __all__ = ["build_parser", "main"]
 
-_DEFAULT_BUDGETS = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8]
-
-_EXPERIMENTS = {
-    "figure1": "Variance in claim fairness (Adoptions / CDC-firearms / CDC-causes)",
-    "figure2": "Expected variance of uniqueness on the CDC datasets",
-    "figure3": "Expected variance of uniqueness on URx / LNx / SMx",
-    "figure6": "Absolute improvement of GreedyMinVar over GreedyNaive",
-    "figure7": "Expected variance of robustness (fragility)",
-    "figure8": "Effectiveness in action (CDC-causes)",
-    "figure9": "Effectiveness in action (synthetic)",
-    "figure10": "GreedyMinVar running time",
-    "figure11": "Handling dependency (correlated errors)",
-    "figure12": "Competing objectives (MinVar vs MaxPr)",
-    "counters": "Counterargument discovery case study (Section 4.3)",
-}
+# Backwards-compatible alias for the pre-registry module constant.
+_DEFAULT_BUDGETS = DEFAULT_CLI_BUDGETS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,68 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available experiments")
 
-    def add_budgets(p):
-        p.add_argument(
-            "--budgets",
-            type=float,
-            nargs="+",
-            default=_DEFAULT_BUDGETS,
-            help="budget fractions to sweep (default: %(default)s)",
-        )
-
-    p1 = subparsers.add_parser("figure1", help=_EXPERIMENTS["figure1"])
-    p1.add_argument("--dataset", choices=["adoptions", "cdc_firearms", "cdc_causes"], default="adoptions")
-    p1.add_argument("--no-random", action="store_true", help="skip the Random baseline")
-    add_budgets(p1)
-
-    p2 = subparsers.add_parser("figure2", help=_EXPERIMENTS["figure2"])
-    p2.add_argument("--dataset", choices=["firearms", "causes"], default="firearms")
-    p2.add_argument("--gamma", type=float, default=None)
-    add_budgets(p2)
-
-    p3 = subparsers.add_parser("figure3", help=_EXPERIMENTS["figure3"])
-    p3.add_argument("--generator", choices=["URx", "LNx", "SMx"], default="URx")
-    p3.add_argument("--gamma", type=float, default=200.0)
-    p3.add_argument("--n", type=int, default=40)
-    add_budgets(p3)
-
-    p6 = subparsers.add_parser("figure6", help=_EXPERIMENTS["figure6"])
-    p6.add_argument("--generator", choices=["URx", "LNx", "SMx"], default="URx")
-    p6.add_argument("--gammas", type=float, nargs="+", default=[50.0, 150.0, 200.0, 300.0])
-    add_budgets(p6)
-
-    p7 = subparsers.add_parser("figure7", help=_EXPERIMENTS["figure7"])
-    p7.add_argument("--dataset", default="cdc_firearms")
-    p7.add_argument("--gamma", type=float, default=None)
-    p7.add_argument("--n", type=int, default=100)
-    add_budgets(p7)
-
-    p8 = subparsers.add_parser("figure8", help=_EXPERIMENTS["figure8"])
-    add_budgets(p8)
-
-    p9 = subparsers.add_parser("figure9", help=_EXPERIMENTS["figure9"])
-    p9.add_argument("--generator", choices=["URx", "LNx", "SMx"], default="URx")
-    p9.add_argument("--gamma", type=float, default=100.0)
-    p9.add_argument("--n", type=int, default=40)
-    add_budgets(p9)
-
-    p10 = subparsers.add_parser("figure10", help=_EXPERIMENTS["figure10"])
-    p10.add_argument("--n", type=int, default=2000)
-    p10.add_argument("--sizes", type=int, nargs="+", default=[500, 1000, 2000, 4000, 10000])
-
-    p11 = subparsers.add_parser("figure11", help=_EXPERIMENTS["figure11"])
-    p11.add_argument("--gamma", type=float, default=0.7)
-    p11.add_argument("--no-opt", action="store_true", help="skip the exhaustive OPT baseline")
-    add_budgets(p11)
-
-    p12 = subparsers.add_parser("figure12", help=_EXPERIMENTS["figure12"])
-    p12.add_argument("--repeats", type=int, default=10)
-    p12.add_argument("--tau-in-stds", type=float, default=1.0)
-    add_budgets(p12)
-
-    pc = subparsers.add_parser("counters", help=_EXPERIMENTS["counters"])
-    pc.add_argument("--dataset", default="cdc_firearms")
-    pc.add_argument("--seed", type=int, default=2)
+    for spec in experiment_specs().values():
+        subparser = subparsers.add_parser(spec.name, help=spec.description)
+        spec.configure_parser(subparser)
 
     return parser
 
@@ -122,85 +57,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command in (None, "list"):
-        rows = [{"experiment": name, "description": text} for name, text in _EXPERIMENTS.items()]
+        rows = [
+            {"experiment": spec.name, "description": spec.description}
+            for spec in experiment_specs().values()
+        ]
         print(format_rows(rows, title="Available experiments (run: python -m repro.cli <experiment> --help)"))
         return 0
 
-    if args.command == "figure1":
-        result = figures.figure1_fairness(
-            args.dataset, budget_fractions=args.budgets, include_random=not args.no_random
-        )
-        print(format_series_table(result.budget_fractions, result.series, title=result.description))
-        return 0
+    try:
+        spec = get_experiment(args.command)
+    except KeyError:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
 
-    if args.command == "figure2":
-        result = figures.figure2_uniqueness_cdc(
-            args.dataset, gamma=args.gamma, budget_fractions=args.budgets
-        )
-        print(format_series_table(result.budget_fractions, result.series, title=result.description))
-        return 0
-
-    if args.command == "figure3":
-        result = figures.figure3to5_uniqueness_synthetic(
-            args.generator, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
-        )
-        print(format_series_table(result.budget_fractions, result.series, title=result.description))
-        return 0
-
-    if args.command == "figure6":
-        rows = figures.figure6_absolute_improvement(
-            generator=args.generator, gammas=args.gammas, budget_fractions=args.budgets
-        )
-        print(format_rows(rows, title="Figure 6: absolute improvement of GreedyMinVar over GreedyNaive"))
-        return 0
-
-    if args.command == "figure7":
-        result = figures.figure7_robustness(
-            args.dataset, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
-        )
-        print(format_series_table(result.budget_fractions, result.series, title=result.description))
-        return 0
-
-    if args.command == "figure8":
-        result = figures.figure8_in_action_cdc(budget_fractions=args.budgets)
-        print(format_rows(result.as_rows(), title="Figure 8: estimated duplicity (CDC-causes)"))
-        return 0
-
-    if args.command == "figure9":
-        result = figures.figure9_in_action_synthetic(
-            args.generator, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
-        )
-        print(format_rows(result.as_rows(), title="Figure 9: estimated duplicity (synthetic)"))
-        return 0
-
-    if args.command == "figure10":
-        by_budget, by_size = figures.figure10_efficiency(n=args.n, sizes=args.sizes)
-        print(format_rows(by_budget.as_rows(), title="Figure 10a: running time vs budget"))
-        print()
-        print(format_rows(by_size.as_rows(), title="Figure 10b: running time vs dataset size"))
-        return 0
-
-    if args.command == "figure11":
-        result = figures.figure11_dependency(
-            gamma=args.gamma, budget_fractions=args.budgets, include_opt=not args.no_opt
-        )
-        print(format_series_table(result.budget_fractions, result.series, title=result.description))
-        return 0
-
-    if args.command == "figure12":
-        result = figures.figure12_competing_objectives(
-            budget_fractions=args.budgets, repeats=args.repeats, tau_in_stds=args.tau_in_stds
-        )
-        print(format_rows(result.as_rows(), title="Figure 12: competing objectives"))
-        return 0
-
-    if args.command == "counters":
-        result = figures.counters_case_study(args.dataset, seed=args.seed)
-        print(format_rows(result.as_rows(), title="Section 4.3 case study: counterargument discovery"))
-        return 0
-
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    print(spec.run(args))
+    return 0
 
 
 if __name__ == "__main__":

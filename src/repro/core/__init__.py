@@ -6,6 +6,16 @@ from repro.core.problems import (
     CleaningPlan,
     budget_from_fraction,
 )
+from repro.core.solver import (
+    Solver,
+    ResumableSolver,
+    SelectionStep,
+    SelectionTrace,
+    TraceNotSupported,
+    register_solver,
+    get_solver,
+    available_solvers,
+)
 from repro.core.expected_variance import (
     expected_variance_exact,
     expected_variance_monte_carlo,
@@ -77,6 +87,14 @@ from repro.core.entropy import (
 )
 
 __all__ = [
+    "Solver",
+    "ResumableSolver",
+    "SelectionStep",
+    "SelectionTrace",
+    "TraceNotSupported",
+    "register_solver",
+    "get_solver",
+    "available_solvers",
     "AdaptiveMinVar",
     "AdaptiveMaxPr",
     "AdaptiveRun",

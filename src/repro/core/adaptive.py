@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.claims.functions import ClaimFunction
 from repro.core.expected_variance import make_ev_calculator
+from repro.core.solver import Solver, register_solver
 from repro.core.surprise import make_surprise_calculator
 from repro.uncertainty.database import UncertainDatabase
 
@@ -95,7 +96,29 @@ class AdaptiveRun:
         return len(self.steps)
 
 
-class AdaptiveMinVar:
+class _AdaptivePolicy(Solver):
+    """Solver shim for the adaptive policies.
+
+    An adaptive policy is defined by its interaction with a reveal oracle, so
+    its natural entry point is :meth:`run`.  The Solver-protocol
+    ``select_indices`` is provided for harnesses that want a plan from an
+    adaptive policy without managing an oracle: it simulates a run against a
+    :func:`sampling_oracle` seeded from ``simulation_seed`` (deterministic by
+    default) and returns the cleaned indices in reveal order.
+    """
+
+    simulation_seed: int = 0
+
+    def run(self, database: UncertainDatabase, budget: float, oracle: RevealOracle) -> "AdaptiveRun":
+        raise NotImplementedError
+
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        rng = np.random.default_rng(self.simulation_seed)
+        return self.run(database, budget, sampling_oracle(database, rng)).cleaned_indices
+
+
+@register_solver
+class AdaptiveMinVar(_AdaptivePolicy):
     """Sequentially clean the object with the largest conditional variance reduction.
 
     After each reveal the database is conditioned on the observed value, so
@@ -159,7 +182,8 @@ class AdaptiveMinVar:
             run.final_objective = after
 
 
-class AdaptiveMaxPr:
+@register_solver
+class AdaptiveMaxPr(_AdaptivePolicy):
     """Sequentially clean toward a surprise target, stopping once it is met.
 
     The target is ``f`` dropping below ``f(u) - tau`` where ``u`` is the

@@ -20,13 +20,14 @@ objectives make on the same workload.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.claims.functions import ClaimFunction
-from repro.core.greedy import greedy_select
+from repro.core.greedy import _DatabaseKeyedCache, greedy_select
 from repro.core.problems import CleaningPlan
+from repro.core.solver import ResumableSolver, SelectionStep, register_solver
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -99,22 +100,33 @@ def expected_entropy(
     return float(total)
 
 
-class GreedyMinEntropy:
+@register_solver
+class GreedyMinEntropy(_DatabaseKeyedCache, ResumableSolver):
     """Algorithm-1 greedy whose benefit is the reduction in expected entropy.
 
     Provided as an ablation baseline: on indicator-style claim-quality
     measures it often agrees with GreedyMinVar, but on measures where the
     *magnitude* of deviations matters (fragility, bias) entropy ignores how
     far apart the outcomes are and can prefer less useful objects.
+
+    Evaluated-set entropies are cached per database identity (weakly keyed),
+    so budget sweeps and trace resumes reuse them.
     """
 
     name = "GreedyMinEntropy"
 
     def __init__(self, function: ClaimFunction):
         self.function = function
+        self._init_caches()
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        cache: Dict[frozenset, float] = {}
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
+        cache = self._cache_for(database)
 
         def entropy(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -126,7 +138,14 @@ class GreedyMinEntropy:
             current_tuple = tuple(current)
             return entropy(current_tuple) - entropy(current_tuple + (index,))
 
-        return greedy_select(database, budget, benefit, adaptive=True)
+        return greedy_select(
+            database,
+            budget,
+            benefit,
+            adaptive=True,
+            initial_selection=initial_selection,
+            record_steps=record_steps,
+        )
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
         indices = self.select_indices(database, budget)

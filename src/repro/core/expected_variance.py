@@ -371,8 +371,10 @@ class DecomposedEVCalculator:
             for i in term.referenced_indices:
                 self._terms_by_object.setdefault(i, []).append(k)
         self._pairs_by_object: Dict[int, List[Tuple[int, int]]] = {}
+        self._pair_union_refs: Dict[Tuple[int, int], FrozenSet[int]] = {}
         for k, l in self._interacting_pairs:
             union = self.terms[k].referenced_indices | self.terms[l].referenced_indices
+            self._pair_union_refs[(k, l)] = frozenset(union)
             for i in union:
                 self._pairs_by_object.setdefault(i, []).append((k, l))
         self._variance_cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
@@ -679,20 +681,28 @@ class DecomposedEVCalculator:
         """``EV(T) - EV(T ∪ {candidate})`` — the variance reduction from cleaning one more object.
 
         Only terms and pairs whose referenced sets contain ``candidate`` can
-        change, so the difference is computed from those pieces alone.
+        change, so the difference is computed from those pieces alone — and
+        each piece is restricted to ``cleaned`` intersected with its own
+        referenced objects before the memo lookup, so passing a large cleaned
+        set (a warm-started sweep prefix) costs a few small-set intersections,
+        not a copy of the whole set.  Passing an already-built ``frozenset``
+        of ints skips the normalization entirely.
         """
-        cleaned_set = frozenset(int(i) for i in cleaned)
+        cleaned_set = (
+            cleaned if isinstance(cleaned, frozenset) else frozenset(int(i) for i in cleaned)
+        )
         candidate = int(candidate)
         if candidate in cleaned_set:
             return 0.0
-        extended = cleaned_set | {candidate}
         gain = 0.0
         for k in self._terms_by_object.get(candidate, ()):
-            gain += self._term_expected_variance(k, cleaned_set)
-            gain -= self._term_expected_variance(k, extended)
+            relevant = cleaned_set & self.terms[k].referenced_indices
+            gain += self._term_expected_variance(k, relevant)
+            gain -= self._term_expected_variance(k, relevant | {candidate})
         for k, l in self._pairs_by_object.get(candidate, ()):
-            gain += 2.0 * self._pair_expected_covariance(k, l, cleaned_set)
-            gain -= 2.0 * self._pair_expected_covariance(k, l, extended)
+            relevant = cleaned_set & self._pair_union_refs[(k, l)]
+            gain += 2.0 * self._pair_expected_covariance(k, l, relevant)
+            gain -= 2.0 * self._pair_expected_covariance(k, l, relevant | {candidate})
         return float(gain)
 
     @property

@@ -16,17 +16,30 @@ Section 4 are all provided here:
 * :class:`GreedyMaxPr` — benefit is the increase in the surprise probability.
 * :class:`GreedyDep` — like GreedyMinVar but aware of a correlated
   (multivariate normal) error model (Section 4.5).
+
+All of them are :class:`~repro.core.solver.Solver` subclasses and support
+anytime :class:`~repro.core.solver.SelectionTrace` recording: one run at the
+largest budget yields the exact selection at every smaller budget (the sweep
+engine's single-trace fast path).  The shared mechanics live in
+``greedy_select``'s ``initial_selection`` (warm-start the loop from a recorded
+prefix) and ``record_steps`` (log each pick) hooks.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+import weakref
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.claims.functions import ClaimFunction
 from repro.core.expected_variance import DecomposedEVCalculator, make_ev_calculator
-from repro.core.problems import CleaningPlan
+from repro.core.solver import (
+    ResumableSolver,
+    SelectionStep,
+    SelectionTrace,
+    register_solver,
+)
 from repro.core.surprise import make_surprise_calculator
 from repro.uncertainty.correlation import GaussianWorldModel
 from repro.uncertainty.database import UncertainDatabase
@@ -43,6 +56,8 @@ __all__ = [
 
 BenefitFunction = Callable[[Sequence[int], int], float]
 
+_EMPTY_SET: frozenset = frozenset()
+
 
 def greedy_select(
     database: UncertainDatabase,
@@ -53,6 +68,8 @@ def greedy_select(
     use_cost_ratio: bool = True,
     apply_safeguard: bool = True,
     lazy: bool = False,
+    initial_selection: Optional[Sequence[int]] = None,
+    record_steps: Optional[List[SelectionStep]] = None,
 ) -> List[int]:
     """The Algorithm-1 greedy template.
 
@@ -80,18 +97,34 @@ def greedy_select(
         only when the marginal benefit of every object is non-increasing in
         the selected set (the submodular setting of Lemma 3.5); it avoids
         re-evaluating benefits that cannot win the current round.
+    initial_selection:
+        Warm-start the loop as if these objects had already been selected (in
+        this order) by an earlier identical run — the resume half of the
+        anytime-trace machinery.  Because the trace prefix is exactly what a
+        from-scratch run at this budget would have picked first, warm-started
+        and from-scratch runs return identical selections.
+    record_steps:
+        When a list is supplied, every pick is appended to it as a
+        :class:`~repro.core.solver.SelectionStep` (index, cost, marginal
+        benefit at selection time).  The single-item safeguard is *not* part
+        of the step log — it is re-applied per budget when a trace is sliced.
     """
     n = len(database)
     costs = database.costs
-    selected: List[int] = []
-    selected_set: Set[int] = set()
-    spent = 0.0
+    selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
+    selected_set: Set[int] = set(selected)
+    spent = float(costs[selected].sum()) if selected else 0.0
+    need_gain = stop_when_no_gain or record_steps is not None
 
     def score(index: int, current: Sequence[int]) -> float:
         b = benefit(current, index)
         if not use_cost_ratio:
             return b
         return b / costs[index]
+
+    def record(index: int, gain: float) -> None:
+        if record_steps is not None:
+            record_steps.append(SelectionStep(int(index), float(costs[index]), float(gain)))
 
     if adaptive and lazy:
         import heapq
@@ -102,8 +135,8 @@ def greedy_select(
         # marginal benefits only shrink as the selection grows (submodularity).
         heap = []
         for i in range(n):
-            if costs[i] <= budget + 1e-9:
-                heapq.heappush(heap, (-score(i, selected), i, 0))
+            if i not in selected_set and costs[i] <= budget + 1e-9:
+                heapq.heappush(heap, (-score(i, selected), i, len(selected)))
         while heap:
             negative_score, index, generation = heapq.heappop(heap)
             if index in selected_set or spent + costs[index] > budget + 1e-9:
@@ -113,6 +146,7 @@ def greedy_select(
                 continue
             if stop_when_no_gain and -negative_score <= 1e-15:
                 break
+            record(index, benefit(selected, index) if need_gain else -negative_score)
             selected.append(index)
             selected_set.add(index)
             spent += costs[index]
@@ -120,14 +154,19 @@ def greedy_select(
         # Feasibility is monotone (spent only grows), so a boolean mask pruned
         # in place replaces the O(n) candidate-list rebuild of each round.
         feasible = np.ones(n, dtype=bool)
+        if selected:
+            feasible[selected] = False
         while True:
             feasible &= (spent + costs) <= budget + 1e-9
             candidates = np.flatnonzero(feasible)
             if candidates.size == 0:
                 break
             best = int(max(candidates, key=lambda i: score(int(i), selected)))
-            if stop_when_no_gain and benefit(selected, best) <= 1e-15:
-                break
+            if need_gain:
+                gain = benefit(selected, best)
+                if stop_when_no_gain and gain <= 1e-15:
+                    break
+                record(best, gain)
             selected.append(best)
             selected_set.add(best)
             feasible[best] = False
@@ -139,7 +178,10 @@ def greedy_select(
         for i in order:
             if static_benefits[i] <= 0 and stop_when_no_gain:
                 break
+            if i in selected_set:
+                continue
             if spent + costs[i] <= budget + 1e-9:
+                record(i, static_benefits[i])
                 selected.append(i)
                 selected_set.add(i)
                 spent += costs[i]
@@ -157,49 +199,118 @@ def greedy_select(
     return selected
 
 
-class _SelectionAlgorithm:
-    """Shared plumbing: turn an ordered index list into a CleaningPlan."""
+class _DatabaseKeyedCache:
+    """Mixin: per-database memo dicts keyed by database *identity*.
 
-    name = "selection"
+    Results cached for one database can never leak into another — each
+    database object owns its own dict, held weakly so dropping the database
+    drops the cache.  :meth:`reset_cache` (the documented explicit reset
+    point) remains as a compatible alias that empties everything.
+    """
 
-    def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
-        indices = self.select_indices(database, budget)
-        return CleaningPlan.from_indices(database, indices, algorithm=self.name)
+    def _init_caches(self) -> None:
+        self._caches: "weakref.WeakKeyDictionary[UncertainDatabase, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        raise NotImplementedError
+    def _cache_for(self, database: UncertainDatabase) -> dict:
+        cache = self._caches.get(database)
+        if cache is None:
+            cache = {}
+            self._caches[database] = cache
+        return cache
+
+    def reset_cache(self) -> None:
+        """Drop every per-database cache (kept for API compatibility)."""
+        self._init_caches()
+
+    # Weak references are not picklable; caches are transient, so pickling
+    # (e.g. for the sweep engine's process pool) ships the solver without them.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_caches", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._init_caches()
 
 
-class RandomSelector(_SelectionAlgorithm):
-    """Clean objects in uniformly random order until the budget is exhausted."""
+@register_solver
+class RandomSelector(ResumableSolver):
+    """Clean objects in uniformly random order until the budget is exhausted.
+
+    ``sweep_with_trace`` is False: in a budget sweep each budget draws an
+    independent permutation (the legacy averaging semantics), while an
+    explicit :meth:`trace` freezes one permutation and slices it anytime.
+    """
 
     name = "Random"
+    sweep_with_trace = False
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        n = len(database)
-        costs = database.costs
-        order = list(self.rng.permutation(n))
-        selected: List[int] = []
-        spent = 0.0
+    def _walk(
+        self,
+        order: Sequence[int],
+        costs: np.ndarray,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
+        selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
+        chosen = set(selected)
+        spent = float(costs[selected].sum()) if selected else 0.0
         for i in order:
+            if i in chosen:
+                continue
             if spent + costs[i] <= budget + 1e-9:
+                if record_steps is not None:
+                    record_steps.append(SelectionStep(int(i), float(costs[i]), 0.0))
                 selected.append(int(i))
+                chosen.add(int(i))
                 spent += costs[i]
         return selected
 
+    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        order = [int(i) for i in self.rng.permutation(len(database))]
+        return self._walk(order, database.costs, budget)
 
-class GreedyNaiveCostBlind(_SelectionAlgorithm):
-    """Clean objects in decreasing order of their variance, ignoring costs."""
+    def trace(self, database: UncertainDatabase, max_budget: float) -> SelectionTrace:
+        """One permutation, walked at every budget.
 
-    name = "GreedyNaiveCostBlind"
+        Note that a trace freezes the random order: slicing it at several
+        budgets reuses the *same* permutation (the anytime semantics), whereas
+        calling ``select_indices`` per budget draws a fresh permutation each
+        time.
+        """
+        costs = database.costs
+        order = [int(i) for i in self.rng.permutation(len(database))]
+        steps: List[SelectionStep] = []
+        self._walk(order, costs, max_budget, record_steps=steps)
+
+        def resume(prefix: List[int], budget: float) -> List[int]:
+            return self._walk(order, costs, budget, initial_selection=prefix)
+
+        return SelectionTrace(self.name, max_budget, steps, database, resume)
+
+
+class _StaticVarianceGreedy(ResumableSolver):
+    """Shared loop for the variance-ordered naive baselines."""
+
+    use_cost_ratio = True
 
     def __init__(self, function: Optional[ClaimFunction] = None):
         self.function = function
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
         variances = database.variances
         referenced = (
             self.function.referenced_indices if self.function is not None else None
@@ -215,12 +326,23 @@ class GreedyNaiveCostBlind(_SelectionAlgorithm):
             budget,
             benefit,
             adaptive=False,
-            use_cost_ratio=False,
+            use_cost_ratio=self.use_cost_ratio,
             apply_safeguard=False,
+            initial_selection=initial_selection,
+            record_steps=record_steps,
         )
 
 
-class GreedyNaive(_SelectionAlgorithm):
+@register_solver
+class GreedyNaiveCostBlind(_StaticVarianceGreedy):
+    """Clean objects in decreasing order of their variance, ignoring costs."""
+
+    name = "GreedyNaiveCostBlind"
+    use_cost_ratio = False
+
+
+@register_solver
+class GreedyNaive(_StaticVarianceGreedy):
     """Clean objects in decreasing order of variance per unit cost.
 
     The benefit estimate is just ``Var[X_i]`` (0 for objects the query
@@ -229,27 +351,11 @@ class GreedyNaive(_SelectionAlgorithm):
     """
 
     name = "GreedyNaive"
-
-    def __init__(self, function: Optional[ClaimFunction] = None):
-        self.function = function
-
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        variances = database.variances
-        referenced = (
-            self.function.referenced_indices if self.function is not None else None
-        )
-
-        def benefit(_current: Sequence[int], index: int) -> float:
-            if referenced is not None and index not in referenced:
-                return 0.0
-            return float(variances[index])
-
-        return greedy_select(
-            database, budget, benefit, adaptive=False, apply_safeguard=False
-        )
+    use_cost_ratio = True
 
 
-class GreedyMinVar(_SelectionAlgorithm):
+@register_solver
+class GreedyMinVar(ResumableSolver):
     """Objective-aware greedy for MinVar.
 
     The benefit of cleaning object ``i`` given the already-selected set ``T``
@@ -265,8 +371,38 @@ class GreedyMinVar(_SelectionAlgorithm):
     def __init__(self, function: ClaimFunction, calculator: Optional[DecomposedEVCalculator] = None):
         self.function = function
         self.calculator = calculator
+        # Auto-built calculator for the most recently seen database, so
+        # repeated selections and trace resumes share the memoized per-term
+        # computations even when no calculator was supplied explicitly.  Only
+        # the latest database's calculator is kept: a calculator holds a
+        # strong reference to its database, so an unbounded per-database map
+        # would pin every swept database in memory for the solver's lifetime.
+        self._auto_calculator: Optional[Tuple[UncertainDatabase, DecomposedEVCalculator]] = None
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_auto_calculator"] = None
+        return state
+
+    def _resolve_calculator(self, database: UncertainDatabase) -> DecomposedEVCalculator:
+        # A caller-supplied calculator lets repeated selections (budget
+        # sweeps) share the memoized per-term computations.
+        if self.calculator is not None:
+            return self.calculator
+        cached = self._auto_calculator
+        if cached is not None and cached[0] is database:
+            return cached[1]
+        calculator = DecomposedEVCalculator(database, self.function)
+        self._auto_calculator = (database, calculator)
+        return calculator
+
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
         if self.function.is_linear():
             weights = self.function.weights(len(database))
             variances = database.variances
@@ -275,12 +411,17 @@ class GreedyMinVar(_SelectionAlgorithm):
             def benefit(_current: Sequence[int], index: int) -> float:
                 return float(contributions[index])
 
-            return greedy_select(database, budget, benefit, adaptive=False)
+            return greedy_select(
+                database,
+                budget,
+                benefit,
+                adaptive=False,
+                initial_selection=initial_selection,
+                record_steps=record_steps,
+            )
 
         try:
-            # A caller-supplied calculator lets repeated selections (budget
-            # sweeps) share the memoized per-term computations.
-            calculator = self.calculator or DecomposedEVCalculator(database, self.function)
+            calculator = self._resolve_calculator(database)
         except TypeError:
             ev = make_ev_calculator(database, self.function)
 
@@ -288,12 +429,26 @@ class GreedyMinVar(_SelectionAlgorithm):
                 current_set = list(current)
                 return ev(current_set) - ev(current_set + [index])
 
-            return greedy_select(database, budget, benefit, adaptive=True)
+            return greedy_select(
+                database,
+                budget,
+                benefit,
+                adaptive=True,
+                initial_selection=initial_selection,
+                record_steps=record_steps,
+            )
 
-        return self._select_decomposed(database, budget, calculator)
+        return self._select_decomposed(
+            database, budget, calculator, initial_selection, record_steps
+        )
 
     def _select_decomposed(
-        self, database: UncertainDatabase, budget: float, calculator: DecomposedEVCalculator
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        calculator: DecomposedEVCalculator,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
     ) -> List[int]:
         """Exact greedy over a decomposed EV with neighbour-only gain updates.
 
@@ -303,6 +458,11 @@ class GreedyMinVar(_SelectionAlgorithm):
         re-scored.  Note that EV's submodularity (Lemma 3.5) means gains grow
         as the selection does, so CELF-style lazy evaluation with stale upper
         bounds would *not* be exact here — this invalidation scheme is.
+
+        A warm start (``initial_selection``) rebuilds exactly the state the
+        loop would have after selecting that prefix: gains conditioned on the
+        prefix (memoized by the calculator, so this is a cache read-back) and
+        the prefix's spend.
         """
         n = len(database)
         costs = database.costs
@@ -320,18 +480,28 @@ class GreedyMinVar(_SelectionAlgorithm):
             for i in members:
                 neighbours[i].update(members)
 
-        gains = np.array([calculator.marginal_gain([], i) for i in range(n)], dtype=float)
         # Standalone (empty-set) gains double as the safeguard inputs below.
-        standalone_gains = gains.copy()
-        selected: List[int] = []
-        selected_set: Set[int] = set()
+        standalone_gains = np.array(
+            [calculator.marginal_gain(_EMPTY_SET, i) for i in range(n)], dtype=float
+        )
+        selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
+        selected_set: Set[int] = set(selected)
+        selected_frozen = frozenset(selected_set)
+        if selected:
+            gains = np.array(
+                [calculator.marginal_gain(selected_frozen, i) for i in range(n)], dtype=float
+            )
+        else:
+            gains = standalone_gains.copy()
         feasible = np.ones(n, dtype=bool)
-        spent = 0.0
+        if selected:
+            feasible[selected] = False
+        spent = float(costs[selected].sum()) if selected else 0.0
         # Feasibility is monotone (spent only grows), so a mask pruned in
         # place replaces the O(n) candidate-list rebuild of each round, and
         # the benefit/cost ratios are maintained incrementally (-inf marks
         # selected or unaffordable objects) so each round is one argmax.
-        ratios = gains / costs
+        ratios = np.where(feasible, gains / costs, -np.inf)
         while True:
             pruned = feasible & ((spent + costs) > budget + 1e-9)
             if pruned.any():
@@ -340,14 +510,17 @@ class GreedyMinVar(_SelectionAlgorithm):
             if not feasible.any():
                 break
             best = int(np.argmax(ratios))
+            if record_steps is not None:
+                record_steps.append(SelectionStep(best, float(costs[best]), float(gains[best])))
             selected.append(best)
             selected_set.add(best)
+            selected_frozen = selected_frozen | {best}
             feasible[best] = False
             ratios[best] = -np.inf
             spent += costs[best]
             for i in neighbours[best]:
                 if i not in selected_set:
-                    gains[i] = calculator.marginal_gain(selected, i)
+                    gains[i] = calculator.marginal_gain(selected_frozen, i)
                     if feasible[i]:
                         ratios[i] = gains[i] / costs[i]
 
@@ -364,7 +537,8 @@ class GreedyMinVar(_SelectionAlgorithm):
         return selected
 
 
-class GreedyMaxPr(_SelectionAlgorithm):
+@register_solver
+class GreedyMaxPr(_DatabaseKeyedCache, ResumableSolver):
     """Objective-aware greedy for MaxPr.
 
     The benefit of cleaning object ``i`` given ``T`` is the increase in the
@@ -372,12 +546,12 @@ class GreedyMaxPr(_SelectionAlgorithm):
     candidate increases the probability (cleaning more would only hurt, the
     behaviour Figure 12 documents).
 
-    Evaluated-set probabilities are cached on the instance and shared across
-    calls for the *same database object*, so budget sweeps reuse every
-    already-evaluated set instead of recomputing it per budget.  The cache
-    resets automatically when ``select_indices`` sees a different database;
-    :meth:`reset_cache` is the explicit reset point that keeps long sweeps
-    from growing the cache unbounded.
+    Evaluated-set probabilities are cached per database *identity* (a weakly
+    keyed dict per database object), so budget sweeps reuse every
+    already-evaluated set instead of recomputing it per budget, and results
+    computed for one database can never leak into another even when callers
+    forget the manual reset.  :meth:`reset_cache` remains as the explicit
+    reset point that keeps long-lived solvers from accumulating caches.
     """
 
     name = "GreedyMaxPr"
@@ -395,18 +569,15 @@ class GreedyMaxPr(_SelectionAlgorithm):
         self.rng = rng
         self.monte_carlo_samples = monte_carlo_samples
         self.method = method
-        self._cache: dict = {}
-        self._cache_database: Optional[UncertainDatabase] = None
+        self._init_caches()
 
-    def reset_cache(self) -> None:
-        """Drop all cached set probabilities (the documented reset point)."""
-        self._cache.clear()
-        self._cache_database = None
-
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        if self._cache_database is not database:
-            self.reset_cache()
-            self._cache_database = database
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
         probability = make_surprise_calculator(
             database,
             self.function,
@@ -415,7 +586,7 @@ class GreedyMaxPr(_SelectionAlgorithm):
             monte_carlo_samples=self.monte_carlo_samples,
             method=self.method,
         )
-        cache = self._cache
+        cache = self._cache_for(database)
 
         def pr(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -428,11 +599,18 @@ class GreedyMaxPr(_SelectionAlgorithm):
             return pr(current_tuple + (index,)) - pr(current_tuple)
 
         return greedy_select(
-            database, budget, benefit, adaptive=True, stop_when_no_gain=True
+            database,
+            budget,
+            benefit,
+            adaptive=True,
+            stop_when_no_gain=True,
+            initial_selection=initial_selection,
+            record_steps=record_steps,
         )
 
 
-class GreedyDep(_SelectionAlgorithm):
+@register_solver
+class GreedyDep(_DatabaseKeyedCache, ResumableSolver):
     """Dependency-aware greedy for MinVar with a linear query function.
 
     Uses a :class:`GaussianWorldModel` (means + full covariance matrix) to
@@ -445,10 +623,10 @@ class GreedyDep(_SelectionAlgorithm):
     (statistically exact) or the marginal variance of the objects left
     unclean (the formulation the paper's Theorem 3.9 derivation uses).
 
-    Post-cleaning variances are cached on the instance and shared across
-    calls for the *same database object* (budget sweeps reuse them); the
-    cache resets automatically on a new database and :meth:`reset_cache` is
-    the explicit reset point that keeps long sweeps from growing it unbounded.
+    Post-cleaning variances are cached per database *identity* (weakly keyed
+    per database object): budget sweeps reuse them, and a different database
+    can never read another database's entries.  :meth:`reset_cache` remains
+    as the explicit reset point for long-lived solvers.
     """
 
     name = "GreedyDep"
@@ -459,21 +637,18 @@ class GreedyDep(_SelectionAlgorithm):
         self.function = function
         self.model = model
         self.conditional = conditional
-        self._cache: dict = {}
-        self._cache_database: Optional[UncertainDatabase] = None
+        self._init_caches()
 
-    def reset_cache(self) -> None:
-        """Drop all cached post-cleaning variances (the documented reset point)."""
-        self._cache.clear()
-        self._cache_database = None
-
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
-        if self._cache_database is not database:
-            self.reset_cache()
-            self._cache_database = database
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
         weights = self.function.weights(len(database))
         n = len(database)
-        cache = self._cache
+        cache = self._cache_for(database)
 
         def variance_after(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -491,4 +666,11 @@ class GreedyDep(_SelectionAlgorithm):
             current_tuple = tuple(current)
             return variance_after(current_tuple) - variance_after(current_tuple + (index,))
 
-        return greedy_select(database, budget, benefit, adaptive=True)
+        return greedy_select(
+            database,
+            budget,
+            benefit,
+            adaptive=True,
+            initial_selection=initial_selection,
+            record_steps=record_steps,
+        )

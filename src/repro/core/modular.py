@@ -25,6 +25,7 @@ from repro.core.knapsack import (
     solve_knapsack_greedy,
 )
 from repro.core.problems import CleaningPlan
+from repro.core.solver import Solver, register_solver
 from repro.core.surprise import surprise_probability_normal_linear
 from repro.uncertainty.database import UncertainDatabase
 
@@ -52,7 +53,8 @@ def modular_maxpr_weights(database: UncertainDatabase, function: ClaimFunction) 
     return (weights**2) * database.variances
 
 
-class OptimumModularMinVar:
+@register_solver
+class OptimumModularMinVar(Solver):
     """Exact MinVar solver for affine query functions with uncorrelated errors.
 
     Maximizing the variance removed, ``sum_{i in T} a_i^2 Var[X_i]``, subject
@@ -91,7 +93,8 @@ class OptimumModularMinVar:
         )
 
 
-class OptimumModularMaxPr:
+@register_solver
+class OptimumModularMaxPr(Solver):
     """Exact MaxPr solver for affine query functions with normal errors.
 
     With errors centered at the current values, maximizing the surprise

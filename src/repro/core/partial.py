@@ -25,6 +25,7 @@ import numpy as np
 from repro.claims.functions import ClaimFunction
 from repro.core.greedy import greedy_select
 from repro.core.problems import CleaningPlan
+from repro.core.solver import ResumableSolver, SelectionStep, register_solver
 from repro.uncertainty.database import UncertainDatabase
 from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
 from repro.uncertainty.objects import UncertainObject
@@ -118,7 +119,8 @@ def partial_linear_expected_variance(
     return float(total)
 
 
-class GreedyPartialMinVar:
+@register_solver
+class GreedyPartialMinVar(ResumableSolver):
     """Algorithm-1 greedy for MinVar when cleaning only shrinks uncertainty.
 
     The benefit of cleaning object ``i`` is the variance it *removes*,
@@ -146,7 +148,13 @@ class GreedyPartialMinVar:
             raise ValueError("rho must be in [0, 1]")
         return factor
 
-    def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+    def _run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
         weights = self.function.weights(len(database))
         variances = database.variances
         removable = np.array(
@@ -159,7 +167,14 @@ class GreedyPartialMinVar:
         def benefit(_current: Sequence[int], index: int) -> float:
             return float(removable[index])
 
-        return greedy_select(database, budget, benefit, adaptive=False)
+        return greedy_select(
+            database,
+            budget,
+            benefit,
+            adaptive=False,
+            initial_selection=initial_selection,
+            record_steps=record_steps,
+        )
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
         indices = self.select_indices(database, budget)

@@ -28,6 +28,7 @@ from repro.claims.functions import ClaimFunction
 from repro.core.expected_variance import make_ev_calculator
 from repro.core.knapsack import solve_knapsack_dp
 from repro.core.problems import CleaningPlan
+from repro.core.solver import Solver, register_solver
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -70,7 +71,8 @@ def curvature(database: UncertainDatabase, ev: EVFunction) -> float:
     return float(min(max(kappa, 0.0), 1.0))
 
 
-class BestSubmodularMinVar:
+@register_solver
+class BestSubmodularMinVar(Solver):
     """The "Best" algorithm: iterated modular upper bounds for MinVar.
 
     Following Lemma 3.6 we choose the complement set ``T̄`` (objects left
@@ -158,7 +160,8 @@ class BestSubmodularMinVar:
         )
 
 
-class ExhaustiveMinVar:
+@register_solver
+class ExhaustiveMinVar(Solver):
     """Brute-force optimum ("OPT"): try every feasible subset.
 
     Only usable on small instances; it is the yardstick of the Section 4.5

@@ -7,7 +7,21 @@ from repro.experiments.workloads import (
     uniqueness_workload,
     robustness_workload,
 )
-from repro.experiments.sweeps import SweepResult, run_budget_sweep, DEFAULT_BUDGET_FRACTIONS
+from repro.experiments.sweeps import (
+    SweepResult,
+    run_budget_sweep,
+    sweep_algorithm,
+    LinearVarianceObjective,
+    DEFAULT_BUDGET_FRACTIONS,
+)
+from repro.experiments.registry import (
+    Argument,
+    ExperimentSpec,
+    argument,
+    register_experiment,
+    get_experiment,
+    experiment_specs,
+)
 from repro.experiments.scenarios import (
     measure_moments,
     InActionResult,
@@ -26,6 +40,7 @@ from repro.experiments.persistence import (
     read_rows_csv,
 )
 from repro.experiments import figures
+from repro.experiments import specs  # populates the experiment registry
 
 __all__ = [
     "Workload",
@@ -35,7 +50,15 @@ __all__ = [
     "robustness_workload",
     "SweepResult",
     "run_budget_sweep",
+    "sweep_algorithm",
+    "LinearVarianceObjective",
     "DEFAULT_BUDGET_FRACTIONS",
+    "Argument",
+    "ExperimentSpec",
+    "argument",
+    "register_experiment",
+    "get_experiment",
+    "experiment_specs",
     "measure_moments",
     "InActionResult",
     "run_in_action_experiment",

@@ -1,0 +1,112 @@
+"""The experiment registry: declarative specs behind the CLI and harnesses.
+
+Each of the paper's figures used to be wired into the CLI by hand — one
+subparser block plus one dispatch block per figure.  An
+:class:`ExperimentSpec` replaces both with data: the experiment's name, its
+one-line description, the argparse arguments it accepts, and a runner that
+maps parsed arguments to the printable report.  ``repro.cli`` derives its
+subcommands from this registry, so adding an experiment is one decorator::
+
+    @register_experiment(
+        name="figure42",
+        description="My new experiment",
+        arguments=[argument("--knob", type=float, default=1.0)],
+    )
+    def figure42(args) -> str:
+        result = run_something(knob=args.knob)
+        return format_rows(result.as_rows(), title="Figure 42")
+
+The runner returns the text to print (experiments that emit several tables
+just join them with blank lines).  ``experiment_specs()`` preserves
+registration order, which is the order the CLI lists experiments in.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Argument",
+    "ExperimentSpec",
+    "argument",
+    "register_experiment",
+    "get_experiment",
+    "experiment_specs",
+]
+
+# Runner: parsed argparse namespace -> printable report text.
+ExperimentRunner = Callable[[argparse.Namespace], str]
+
+
+@dataclass(frozen=True)
+class Argument:
+    """One argparse argument of an experiment (flag plus add_argument kwargs)."""
+
+    flag: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def add_to(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(self.flag, **dict(self.kwargs))
+
+
+def argument(flag: str, **kwargs: Any) -> Argument:
+    """Declare an argparse argument for an experiment spec."""
+    return Argument(flag=flag, kwargs=kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: CLI surface plus runner."""
+
+    name: str
+    description: str
+    runner: ExperimentRunner
+    arguments: Tuple[Argument, ...] = ()
+
+    def configure_parser(self, parser: argparse.ArgumentParser) -> None:
+        for arg in self.arguments:
+            arg.add_to(parser)
+
+    def run(self, args: argparse.Namespace) -> str:
+        """Execute the experiment and return the text report."""
+        return self.runner(args)
+
+
+_EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(
+    name: str,
+    description: str,
+    arguments: Sequence[Argument] = (),
+):
+    """Decorator registering a runner function as an experiment spec."""
+
+    def _register(runner: ExperimentRunner) -> ExperimentRunner:
+        _EXPERIMENT_REGISTRY[name] = ExperimentSpec(
+            name=name,
+            description=description,
+            runner=runner,
+            arguments=tuple(arguments),
+        )
+        return runner
+
+    return _register
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment by name."""
+    try:
+        return _EXPERIMENT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_EXPERIMENT_REGISTRY)
+        raise KeyError(
+            f"no experiment registered under {name!r}; known experiments: {known}"
+        ) from None
+
+
+def experiment_specs() -> Dict[str, ExperimentSpec]:
+    """All registered experiments, in registration order."""
+    return dict(_EXPERIMENT_REGISTRY)

@@ -1,0 +1,211 @@
+"""Declarative experiment specs for every figure of the paper's evaluation.
+
+This module is the registry-backed replacement for the hand-wired CLI: each
+``@register_experiment`` block declares one experiment — its CLI arguments and
+the runner mapping parsed arguments to the printed report — and
+:mod:`repro.cli` derives its subcommands from the registry.  The scientific
+entry points stay in :mod:`repro.experiments.figures`; these specs are the
+thin declarative layer over them.
+
+To add an experiment, register a spec here (or anywhere that gets imported)
+— no CLI changes needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.experiments import figures
+from repro.experiments.registry import argument, register_experiment
+from repro.experiments.reporting import format_rows, format_series_table
+
+__all__ = ["DEFAULT_CLI_BUDGETS"]
+
+DEFAULT_CLI_BUDGETS = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8]
+
+_BUDGETS_ARGUMENT = argument(
+    "--budgets",
+    type=float,
+    nargs="+",
+    default=DEFAULT_CLI_BUDGETS,
+    help="budget fractions to sweep (default: %(default)s)",
+)
+
+_GENERATOR_ARGUMENT = argument("--generator", choices=["URx", "LNx", "SMx"], default="URx")
+
+
+def _series_report(result) -> str:
+    return format_series_table(result.budget_fractions, result.series, title=result.description)
+
+
+@register_experiment(
+    name="figure1",
+    description="Variance in claim fairness (Adoptions / CDC-firearms / CDC-causes)",
+    arguments=[
+        argument("--dataset", choices=["adoptions", "cdc_firearms", "cdc_causes"], default="adoptions"),
+        argument("--no-random", action="store_true", help="skip the Random baseline"),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure1(args: argparse.Namespace) -> str:
+    result = figures.figure1_fairness(
+        args.dataset, budget_fractions=args.budgets, include_random=not args.no_random
+    )
+    return _series_report(result)
+
+
+@register_experiment(
+    name="figure2",
+    description="Expected variance of uniqueness on the CDC datasets",
+    arguments=[
+        argument("--dataset", choices=["firearms", "causes"], default="firearms"),
+        argument("--gamma", type=float, default=None),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure2(args: argparse.Namespace) -> str:
+    result = figures.figure2_uniqueness_cdc(
+        args.dataset, gamma=args.gamma, budget_fractions=args.budgets
+    )
+    return _series_report(result)
+
+
+@register_experiment(
+    name="figure3",
+    description="Expected variance of uniqueness on URx / LNx / SMx",
+    arguments=[
+        _GENERATOR_ARGUMENT,
+        argument("--gamma", type=float, default=200.0),
+        argument("--n", type=int, default=40),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure3(args: argparse.Namespace) -> str:
+    result = figures.figure3to5_uniqueness_synthetic(
+        args.generator, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
+    )
+    return _series_report(result)
+
+
+@register_experiment(
+    name="figure6",
+    description="Absolute improvement of GreedyMinVar over GreedyNaive",
+    arguments=[
+        _GENERATOR_ARGUMENT,
+        argument("--gammas", type=float, nargs="+", default=[50.0, 150.0, 200.0, 300.0]),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure6(args: argparse.Namespace) -> str:
+    rows = figures.figure6_absolute_improvement(
+        generator=args.generator, gammas=args.gammas, budget_fractions=args.budgets
+    )
+    return format_rows(rows, title="Figure 6: absolute improvement of GreedyMinVar over GreedyNaive")
+
+
+@register_experiment(
+    name="figure7",
+    description="Expected variance of robustness (fragility)",
+    arguments=[
+        argument("--dataset", default="cdc_firearms"),
+        argument("--gamma", type=float, default=None),
+        argument("--n", type=int, default=100),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure7(args: argparse.Namespace) -> str:
+    result = figures.figure7_robustness(
+        args.dataset, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
+    )
+    return _series_report(result)
+
+
+@register_experiment(
+    name="figure8",
+    description="Effectiveness in action (CDC-causes)",
+    arguments=[_BUDGETS_ARGUMENT],
+)
+def _figure8(args: argparse.Namespace) -> str:
+    result = figures.figure8_in_action_cdc(budget_fractions=args.budgets)
+    return format_rows(result.as_rows(), title="Figure 8: estimated duplicity (CDC-causes)")
+
+
+@register_experiment(
+    name="figure9",
+    description="Effectiveness in action (synthetic)",
+    arguments=[
+        _GENERATOR_ARGUMENT,
+        argument("--gamma", type=float, default=100.0),
+        argument("--n", type=int, default=40),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure9(args: argparse.Namespace) -> str:
+    result = figures.figure9_in_action_synthetic(
+        args.generator, gamma=args.gamma, n=args.n, budget_fractions=args.budgets
+    )
+    return format_rows(result.as_rows(), title="Figure 9: estimated duplicity (synthetic)")
+
+
+@register_experiment(
+    name="figure10",
+    description="GreedyMinVar running time",
+    arguments=[
+        argument("--n", type=int, default=2000),
+        argument("--sizes", type=int, nargs="+", default=[500, 1000, 2000, 4000, 10000]),
+    ],
+)
+def _figure10(args: argparse.Namespace) -> str:
+    by_budget, by_size = figures.figure10_efficiency(n=args.n, sizes=args.sizes)
+    return "\n\n".join(
+        [
+            format_rows(by_budget.as_rows(), title="Figure 10a: running time vs budget"),
+            format_rows(by_size.as_rows(), title="Figure 10b: running time vs dataset size"),
+        ]
+    )
+
+
+@register_experiment(
+    name="figure11",
+    description="Handling dependency (correlated errors)",
+    arguments=[
+        argument("--gamma", type=float, default=0.7),
+        argument("--no-opt", action="store_true", help="skip the exhaustive OPT baseline"),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure11(args: argparse.Namespace) -> str:
+    result = figures.figure11_dependency(
+        gamma=args.gamma, budget_fractions=args.budgets, include_opt=not args.no_opt
+    )
+    return _series_report(result)
+
+
+@register_experiment(
+    name="figure12",
+    description="Competing objectives (MinVar vs MaxPr)",
+    arguments=[
+        argument("--repeats", type=int, default=10),
+        argument("--tau-in-stds", type=float, default=1.0),
+        _BUDGETS_ARGUMENT,
+    ],
+)
+def _figure12(args: argparse.Namespace) -> str:
+    result = figures.figure12_competing_objectives(
+        budget_fractions=args.budgets, repeats=args.repeats, tau_in_stds=args.tau_in_stds
+    )
+    return format_rows(result.as_rows(), title="Figure 12: competing objectives")
+
+
+@register_experiment(
+    name="counters",
+    description="Counterargument discovery case study (Section 4.3)",
+    arguments=[
+        argument("--dataset", default="cdc_firearms"),
+        argument("--seed", type=int, default=2),
+    ],
+)
+def _counters(args: argparse.Namespace) -> str:
+    result = figures.counters_case_study(args.dataset, seed=args.seed)
+    return format_rows(result.as_rows(), title="Section 4.3 case study: counterargument discovery")

@@ -1,21 +1,56 @@
-"""Budget sweeps: run selection algorithms across a range of budgets.
+"""The budget-sweep engine: every algorithm across a range of budgets.
 
 This is the engine behind most of the paper's figures, which all share the
 same x-axis (budget as a fraction of the total cleaning cost) and differ only
 in the workload and the objective reported on the y-axis.
+
+Engine strategy
+---------------
+Each algorithm is swept independently (which is also what makes the optional
+process pool safe):
+
+* **Incremental solvers** (``supports_trace``) are run *once*, at the largest
+  requested budget, recording an anytime
+  :class:`~repro.core.solver.SelectionTrace`; every budget checkpoint is then
+  read back from the trace.  The read-back is exact — it resumes the solver's
+  own loop from the recorded prefix (see :mod:`repro.core.solver`) — so the
+  sweep result is identical to per-budget re-runs while costing one run plus
+  a few boundary rounds per checkpoint.  This turns the Figure 1/2/3/6/7
+  sweeps from O(budgets x greedy-run) into O(one greedy run) per algorithm.
+* **Non-incremental solvers** (knapsack optimum, iterated submodular bounds,
+  exhaustive OPT) keep the per-budget solve, exactly as before.
+
+``use_traces=False`` forces the legacy per-budget path for every algorithm
+(useful for benchmarking the engine against itself).
+
+``max_workers > 1`` opts into a process pool that sweeps algorithms
+concurrently.  Everything submitted must be picklable (database, algorithms,
+and the ``evaluate`` callable); when pickling fails — figure harnesses often
+pass local closures — the engine transparently falls back to the serial path,
+so parallelism is a pure opt-in optimization, never a correctness concern.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.expected_variance import linear_expected_variance
 from repro.core.problems import budget_from_fraction
+from repro.core.solver import TraceNotSupported
 from repro.uncertainty.database import UncertainDatabase
 
-__all__ = ["SweepResult", "run_budget_sweep", "DEFAULT_BUDGET_FRACTIONS"]
+__all__ = [
+    "SweepResult",
+    "run_budget_sweep",
+    "sweep_algorithm",
+    "LinearVarianceObjective",
+    "DEFAULT_BUDGET_FRACTIONS",
+]
 
 DEFAULT_BUDGET_FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
 
@@ -49,11 +84,87 @@ class SweepResult:
                 )
         return rows
 
-    def best_algorithm_at(self, fraction: float, lower_is_better: bool = True) -> str:
-        """Name of the algorithm with the best objective at the given fraction."""
-        index = self.budget_fractions.index(fraction)
+    def best_algorithm_at(
+        self, fraction: float, lower_is_better: bool = True, tolerance: float = 1e-6
+    ) -> str:
+        """Name of the algorithm with the best objective at the given fraction.
+
+        The fraction is matched against the swept ``budget_fractions`` with a
+        tolerance (floating-point budget grids rarely survive exact ``==``);
+        a fraction not within ``tolerance`` of any swept value raises a
+        ``ValueError`` naming the available fractions.
+        """
+        if not self.budget_fractions:
+            raise ValueError("this sweep has no budget fractions")
+        deltas = [abs(f - fraction) for f in self.budget_fractions]
+        index = min(range(len(deltas)), key=deltas.__getitem__)
+        if deltas[index] > tolerance:
+            raise ValueError(
+                f"no swept budget fraction within {tolerance:g} of {fraction:g}; "
+                f"available fractions: {self.budget_fractions}"
+            )
         chooser = min if lower_is_better else max
         return chooser(self.series, key=lambda name: self.series[name][index])
+
+
+class LinearVarianceObjective:
+    """Picklable sweep objective: remaining linear EV on a fixed database.
+
+    Figure harnesses usually close over their workload in a local ``evaluate``
+    function, which cannot cross a process boundary; this small callable class
+    is the equivalent for linear query functions that can.
+    """
+
+    def __init__(self, database: UncertainDatabase, weights: Sequence[float]):
+        self.database = database
+        self.weights = np.asarray(weights, dtype=float)
+
+    def __call__(self, selected: Sequence[int]) -> float:
+        return linear_expected_variance(self.database, self.weights, selected)
+
+
+def sweep_algorithm(
+    database: UncertainDatabase,
+    algorithm,
+    fractions: Sequence[float],
+    evaluate: Callable[[Sequence[int]], float],
+    use_traces: bool = True,
+) -> Tuple[List[float], List[tuple]]:
+    """Sweep one algorithm over the budget fractions.
+
+    Returns the objective values and selections aligned with ``fractions``.
+    This is the unit of work the process pool distributes; it is also the
+    single place the trace-vs-per-budget decision is made.
+    """
+    fractions = [float(f) for f in fractions]
+    budgets = [budget_from_fraction(database, fraction) for fraction in fractions]
+
+    trace = None
+    # ``sweep_with_trace`` lets a solver that *can* trace opt out of the
+    # engine's automatic trace path: RandomSelector uses it to keep the
+    # legacy per-budget semantics (an independent permutation per budget)
+    # rather than freezing one permutation across the sweep.
+    if (
+        use_traces
+        and budgets
+        and getattr(algorithm, "supports_trace", False)
+        and getattr(algorithm, "sweep_with_trace", True)
+    ):
+        try:
+            trace = algorithm.trace(database, max(budgets))
+        except TraceNotSupported:
+            trace = None
+
+    values: List[float] = []
+    selections: List[tuple] = []
+    for budget in budgets:
+        if trace is not None:
+            selected = tuple(trace.indices_at(budget))
+        else:
+            selected = tuple(algorithm.select_indices(database, budget))
+        values.append(float(evaluate(selected)))
+        selections.append(selected)
+    return values, selections
 
 
 def run_budget_sweep(
@@ -62,27 +173,71 @@ def run_budget_sweep(
     evaluate: Callable[[Sequence[int]], float],
     budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
     description: str = "",
+    use_traces: bool = True,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run each algorithm at each budget and evaluate its selection.
+    """Run each algorithm across each budget and evaluate its selection.
 
     ``algorithms`` maps a display name to an object with a
     ``select_indices(database, budget)`` method (all selection algorithms in
     :mod:`repro.core` provide it).  ``evaluate`` maps a selection to the
     objective value reported on the y-axis — typically the expected variance
     that remains, or the probability of finding a counter.
+
+    Incremental solvers are traced once at the largest budget and sliced per
+    checkpoint; others run per budget (see the module docstring).  Set
+    ``max_workers`` above 1 to sweep algorithms in a process pool; non-picklable
+    inputs fall back to the serial path automatically.
     """
     fractions = [float(f) for f in budget_fractions]
-    series: Dict[str, List[float]] = {name: [] for name in algorithms}
-    selections: Dict[str, List[tuple]] = {name: [] for name in algorithms}
-    for fraction in fractions:
-        budget = budget_from_fraction(database, fraction)
-        for name, algorithm in algorithms.items():
-            selected = tuple(algorithm.select_indices(database, budget))
-            series[name].append(float(evaluate(selected)))
-            selections[name].append(selected)
+    names = list(algorithms)
+
+    results: Optional[Dict[str, Tuple[List[float], List[tuple]]]] = None
+    if max_workers is not None and max_workers > 1 and len(names) > 1:
+        results = _sweep_in_pool(
+            database, algorithms, fractions, evaluate, use_traces, max_workers
+        )
+    if results is None:
+        results = {
+            name: sweep_algorithm(database, algorithms[name], fractions, evaluate, use_traces)
+            for name in names
+        }
+
+    series = {name: results[name][0] for name in names}
+    selections = {name: results[name][1] for name in names}
     return SweepResult(
         budget_fractions=fractions,
         series=series,
         selections=selections,
         description=description,
     )
+
+
+def _sweep_in_pool(
+    database: UncertainDatabase,
+    algorithms: Mapping[str, object],
+    fractions: List[float],
+    evaluate: Callable[[Sequence[int]], float],
+    use_traces: bool,
+    max_workers: int,
+) -> Optional[Dict[str, Tuple[List[float], List[tuple]]]]:
+    """Sweep algorithms concurrently; None when the inputs cannot cross processes.
+
+    Picklability is probed up front (figure harnesses often pass local
+    closures as ``evaluate``), so the serial fallback happens before any work
+    is spent — and a genuine error raised by an algorithm inside a worker
+    propagates to the caller instead of being mistaken for a pickling issue.
+    """
+    try:
+        pickle.dumps((database, dict(algorithms), evaluate))
+    except Exception:
+        return None
+    names = list(algorithms)
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(names))) as pool:
+        futures = {
+            name: pool.submit(
+                sweep_algorithm, database, algorithms[name], fractions, evaluate, use_traces
+            )
+            for name in names
+        }
+        return {name: future.result() for name, future in futures.items()}

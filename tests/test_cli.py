@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.registry import experiment_specs, get_experiment
 
 
 class TestParser:
@@ -27,6 +28,27 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["figure1", "--dataset", "nope"])
+
+
+class TestRegistryDrivenCli:
+    def test_every_registered_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        commands = set(parser._subparsers._group_actions[0].choices)
+        for name in experiment_specs():
+            assert name in commands
+
+    def test_specs_carry_descriptions(self):
+        for spec in experiment_specs().values():
+            assert spec.description
+
+    def test_registration_order_matches_paper(self):
+        names = list(experiment_specs())
+        assert names[0] == "figure1"
+        assert names[-1] == "counters"
+
+    def test_unknown_experiment_lookup_raises(self):
+        with pytest.raises(KeyError, match="known experiments"):
+            get_experiment("figure99")
 
 
 class TestMain:

@@ -8,7 +8,7 @@ from repro.claims.perturbations import PerturbationSet
 from repro.claims.quality import Bias, Duplicity
 from repro.claims.strength import lower_is_stronger
 from repro.core.expected_variance import DecomposedEVCalculator, linear_expected_variance
-from repro.core.greedy import GreedyMaxPr, GreedyMinVar, GreedyNaive
+from repro.core.greedy import GreedyMaxPr, GreedyMinVar, GreedyNaive, RandomSelector
 from repro.core.modular import OptimumModularMinVar
 from repro.core.surprise import surprise_probability_normal_linear
 from repro.experiments.efficiency import time_budget_scaling, time_size_scaling
@@ -19,7 +19,11 @@ from repro.experiments.scenarios import (
     run_counter_discovery,
     run_in_action_experiment,
 )
-from repro.experiments.sweeps import run_budget_sweep
+from repro.experiments.sweeps import (
+    LinearVarianceObjective,
+    run_budget_sweep,
+    sweep_algorithm,
+)
 from repro.experiments.workloads import uniqueness_workload
 from repro.datasets.synthetic import generate_urx
 
@@ -82,6 +86,170 @@ class TestRunBudgetSweep:
         assert len(rows) == 2
         assert {"algorithm", "budget_fraction", "objective"} <= set(rows[0])
         assert result.best_algorithm_at(0.5) in algorithms
+
+
+class TestSweepEngine:
+    """The single-trace fast path must be indistinguishable from per-budget runs."""
+
+    FRACTIONS = (0.05, 0.15, 0.3, 0.5, 0.75, 1.0)
+
+    def test_traced_sweep_matches_per_budget_sweep(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+
+        def build():
+            return {
+                "GreedyNaive": GreedyNaive(workload.query_function),
+                "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
+            }
+
+        traced = run_budget_sweep(
+            workload.database,
+            build(),
+            calculator.expected_variance,
+            budget_fractions=self.FRACTIONS,
+            use_traces=True,
+        )
+        per_budget = run_budget_sweep(
+            workload.database,
+            build(),
+            calculator.expected_variance,
+            budget_fractions=self.FRACTIONS,
+            use_traces=False,
+        )
+        assert traced.series == per_budget.series
+        assert traced.selections == per_budget.selections
+
+    def test_non_incremental_algorithms_still_sweep(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+
+        class LegacyAlgorithm:
+            """Duck-typed pre-Solver object: select_indices only."""
+
+            def select_indices(self, database, budget):
+                costs = database.costs
+                selected, spent = [], 0.0
+                for i in range(len(database)):
+                    if spent + costs[i] <= budget + 1e-9:
+                        selected.append(i)
+                        spent += costs[i]
+                return selected
+
+        result = run_budget_sweep(
+            workload.database,
+            {"Legacy": LegacyAlgorithm()},
+            calculator.expected_variance,
+            budget_fractions=(0.3, 1.0),
+        )
+        assert len(result.series["Legacy"]) == 2
+        assert result.series["Legacy"][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_selector_keeps_per_budget_draws(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+
+        def run(use_traces):
+            return run_budget_sweep(
+                workload.database,
+                {"Random": RandomSelector(np.random.default_rng(7))},
+                calculator.expected_variance,
+                budget_fractions=(0.2, 0.5, 0.8),
+                use_traces=use_traces,
+            )
+
+        # RandomSelector opts out of the trace path (sweep_with_trace=False),
+        # so the engine draws an independent permutation per budget — the
+        # legacy semantics — and both engine modes agree.
+        assert run(True).selections == run(False).selections
+
+    def test_sweep_algorithm_unit(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        values, selections = sweep_algorithm(
+            workload.database,
+            GreedyMinVar(workload.query_function, calculator=calculator),
+            (0.25, 1.0),
+            calculator.expected_variance,
+        )
+        assert len(values) == len(selections) == 2
+        assert values[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_process_pool_matches_serial(self):
+        from repro.claims.functions import LinearClaim
+
+        database = generate_urx(n=24, seed=5)
+        claim = LinearClaim({i: 1.0 + 0.1 * i for i in range(24)})
+        evaluate = LinearVarianceObjective(database, claim.weights(24))
+
+        def build():
+            return {
+                "GreedyNaive": GreedyNaive(claim),
+                "GreedyMinVar": GreedyMinVar(claim),
+                "Optimum": OptimumModularMinVar(claim),
+            }
+
+        serial = run_budget_sweep(
+            database, build(), evaluate, budget_fractions=(0.2, 0.5, 1.0)
+        )
+        parallel = run_budget_sweep(
+            database, build(), evaluate, budget_fractions=(0.2, 0.5, 1.0), max_workers=2
+        )
+        assert parallel.series == serial.series
+        assert parallel.selections == serial.selections
+
+    def test_process_pool_falls_back_on_unpicklable_inputs(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {
+            "GreedyNaive": GreedyNaive(workload.query_function),
+            "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
+        }
+        # A local closure cannot cross the process boundary; the engine must
+        # quietly compute the identical result serially.
+        parallel = run_budget_sweep(
+            workload.database,
+            algorithms,
+            lambda T: calculator.expected_variance(T),
+            budget_fractions=(0.3, 1.0),
+            max_workers=2,
+        )
+        serial = run_budget_sweep(
+            workload.database,
+            algorithms,
+            calculator.expected_variance,
+            budget_fractions=(0.3, 1.0),
+        )
+        assert parallel.series == serial.series
+
+
+class TestBestAlgorithmAt:
+    def _sweep(self, urx_uniqueness):
+        workload, calculator = urx_uniqueness
+        algorithms = {
+            "GreedyNaive": GreedyNaive(workload.query_function),
+            "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
+        }
+        return run_budget_sweep(
+            workload.database,
+            algorithms,
+            calculator.expected_variance,
+            budget_fractions=(0.1, 0.3, 0.5),
+        )
+
+    def test_tolerates_float_noise(self, urx_uniqueness):
+        result = self._sweep(urx_uniqueness)
+        exact = result.best_algorithm_at(0.3)
+        assert result.best_algorithm_at(0.3 + 4e-7) == exact
+        assert result.best_algorithm_at(0.1 * 3) == exact  # 0.30000000000000004
+
+    def test_unmatched_fraction_raises_with_context(self, urx_uniqueness):
+        result = self._sweep(urx_uniqueness)
+        with pytest.raises(ValueError, match="available fractions"):
+            result.best_algorithm_at(0.42)
+
+    def test_higher_is_better_mode(self, urx_uniqueness):
+        result = self._sweep(urx_uniqueness)
+        best_low = result.best_algorithm_at(0.5, lower_is_better=True)
+        best_high = result.best_algorithm_at(0.5, lower_is_better=False)
+        series_at = {name: values[2] for name, values in result.series.items()}
+        assert series_at[best_low] == min(series_at.values())
+        assert series_at[best_high] == max(series_at.values())
 
 
 class TestMeasureMoments:

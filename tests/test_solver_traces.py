@@ -1,0 +1,329 @@
+"""Trace-vs-scratch equivalence for the Solver protocol's anytime traces.
+
+The contract under test: for every incremental solver,
+``solver.trace(db, B_max).indices_at(B)`` must equal a from-scratch
+``select_indices(db, B)`` — same selection, same objective — for every budget
+``B <= B_max``.  This is what lets the sweep engine run each greedy once and
+slice checkpoints instead of re-running per budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.claims.quality import Bias
+from repro.core.expected_variance import DecomposedEVCalculator, linear_expected_variance
+from repro.core.entropy import GreedyMinEntropy, expected_entropy
+from repro.core.greedy import (
+    GreedyDep,
+    GreedyMaxPr,
+    GreedyMinVar,
+    GreedyNaive,
+    GreedyNaiveCostBlind,
+    RandomSelector,
+)
+from repro.core.partial import GreedyPartialMinVar
+from repro.core.problems import MinVarProblem, budget_from_fraction
+from repro.core.solver import (
+    SelectionTrace,
+    TraceNotSupported,
+    available_solvers,
+    get_solver,
+)
+from repro.core.submodular import BestSubmodularMinVar
+from repro.datasets.synthetic import generate_lnx, generate_urx
+from repro.experiments.workloads import uniqueness_workload
+from repro.uncertainty.correlation import GaussianWorldModel, decaying_covariance
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+FRACTIONS = (0.0, 0.07, 0.15, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)
+
+
+def _normal_linear_setup(seed: int):
+    """A normal-error database with varied costs plus a linear bias claim."""
+    rng = np.random.default_rng(seed)
+    n = 10
+    objects = [
+        UncertainObject(
+            name=f"v{i}",
+            current_value=float(rng.uniform(20.0, 80.0)),
+            distribution=NormalSpec(
+                mean=float(rng.uniform(20.0, 80.0)), std=float(rng.uniform(2.0, 9.0))
+            ),
+            cost=float(rng.uniform(1.0, 10.0)),
+        )
+        for i in range(n)
+    ]
+    database = UncertainDatabase(objects)
+    from repro.claims.functions import LinearClaim
+
+    weights = {i: float(rng.uniform(-1.5, 1.5)) for i in range(n)}
+    return database, LinearClaim(weights)
+
+
+def _assert_trace_matches_scratch(database, solver_factory, evaluate=None, fractions=FRACTIONS):
+    """Slice one trace at every fraction and compare to from-scratch runs."""
+    max_budget = budget_from_fraction(database, max(fractions))
+    trace = solver_factory().trace(database, max_budget)
+    for fraction in fractions:
+        budget = budget_from_fraction(database, fraction)
+        scratch = solver_factory().select_indices(database, budget)
+        sliced = trace.indices_at(budget)
+        assert sliced == scratch, (
+            f"{trace.algorithm} at fraction {fraction}: trace slice {sliced} "
+            f"!= from-scratch {scratch}"
+        )
+        if evaluate is not None:
+            assert evaluate(sliced) == pytest.approx(evaluate(scratch), abs=1e-12)
+
+
+class TestDiscreteWorkloads:
+    """Duplicity (decomposed EV) workloads on the synthetic generators."""
+
+    @pytest.mark.parametrize(
+        "generator, n, seed, gamma",
+        [
+            (generate_urx, 18, 3, 180.0),
+            (generate_urx, 22, 7, 120.0),
+            (generate_lnx, 16, 11, 4.0),
+        ],
+    )
+    def test_greedy_minvar_decomposed(self, generator, n, seed, gamma):
+        workload = uniqueness_workload(generator(n=n, seed=seed), window_width=4, gamma=gamma)
+        calculator = DecomposedEVCalculator(workload.database, workload.query_function)
+        _assert_trace_matches_scratch(
+            workload.database,
+            lambda: GreedyMinVar(workload.query_function),
+            evaluate=calculator.expected_variance,
+        )
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_naive_baselines(self, seed):
+        workload = uniqueness_workload(generate_urx(n=20, seed=seed), window_width=4, gamma=150.0)
+        _assert_trace_matches_scratch(
+            workload.database, lambda: GreedyNaive(workload.query_function)
+        )
+        _assert_trace_matches_scratch(
+            workload.database, lambda: GreedyNaiveCostBlind(workload.query_function)
+        )
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_greedy_maxpr_discrete_convolution(self, seed):
+        workload = uniqueness_workload(generate_urx(n=16, seed=seed), window_width=4, gamma=150.0)
+        database = workload.database
+        bias = Bias(workload.perturbations, database.current_values)
+        _assert_trace_matches_scratch(database, lambda: GreedyMaxPr(bias, tau=1.0))
+
+    def test_greedy_min_entropy_small(self):
+        # Entropy enumerates the full joint support, so keep it tiny.
+        workload = uniqueness_workload(
+            generate_urx(n=6, seed=4, max_support=3), window_width=2, gamma=100.0
+        )
+        measure = workload.query_function
+        _assert_trace_matches_scratch(
+            workload.database,
+            lambda: GreedyMinEntropy(measure),
+            evaluate=lambda T: expected_entropy(workload.database, measure, T),
+            fractions=(0.0, 0.2, 0.45, 0.7, 1.0),
+        )
+
+
+class TestNormalLinearWorkloads:
+    """Closed-form (linear / normal) solvers on randomized normal databases."""
+
+    @pytest.mark.parametrize("seed", [1, 6, 13])
+    def test_greedy_minvar_linear(self, seed):
+        database, claim = _normal_linear_setup(seed)
+        weights = claim.weights(len(database))
+        _assert_trace_matches_scratch(
+            database,
+            lambda: GreedyMinVar(claim),
+            evaluate=lambda T: linear_expected_variance(database, weights, T),
+        )
+
+    @pytest.mark.parametrize("seed", [1, 6])
+    def test_greedy_maxpr_normal(self, seed):
+        database, claim = _normal_linear_setup(seed)
+        _assert_trace_matches_scratch(database, lambda: GreedyMaxPr(claim, tau=2.0))
+
+    @pytest.mark.parametrize("seed, conditional", [(1, True), (6, False)])
+    def test_greedy_dep(self, seed, conditional):
+        database, claim = _normal_linear_setup(seed)
+        covariance = decaying_covariance(database.stds, 0.6)
+        model = GaussianWorldModel(database.current_values, covariance)
+        _assert_trace_matches_scratch(
+            database, lambda: GreedyDep(claim, model, conditional=conditional)
+        )
+
+    @pytest.mark.parametrize("rho", [0.3, 0.7])
+    def test_greedy_partial(self, rho):
+        database, claim = _normal_linear_setup(8)
+        _assert_trace_matches_scratch(database, lambda: GreedyPartialMinVar(claim, rho=rho))
+
+    def test_random_selector_same_seed(self):
+        database, _ = _normal_linear_setup(2)
+        # A trace freezes the first permutation of its rng; a fresh selector
+        # with the same seed draws that same permutation on its first call.
+        _assert_trace_matches_scratch(
+            database, lambda: RandomSelector(np.random.default_rng(42))
+        )
+
+
+class TestSelectionTraceSurface:
+    @pytest.fixture
+    def trace_and_workload(self):
+        workload = uniqueness_workload(generate_urx(n=16, seed=3), window_width=4, gamma=160.0)
+        solver = GreedyMinVar(workload.query_function)
+        max_budget = budget_from_fraction(workload.database, 1.0)
+        return solver.trace(workload.database, max_budget), workload, max_budget
+
+    def test_steps_record_costs_and_positive_cumulative(self, trace_and_workload):
+        trace, workload, max_budget = trace_and_workload
+        costs = workload.database.costs
+        cumulative = 0.0
+        for step in trace.steps:
+            assert step.cost == pytest.approx(costs[step.index])
+            cumulative += step.cost
+        assert cumulative <= max_budget + 1e-9
+        assert trace.total_cost == pytest.approx(cumulative)
+
+    def test_budget_above_max_rejected(self, trace_and_workload):
+        trace, _, max_budget = trace_and_workload
+        with pytest.raises(ValueError):
+            trace.indices_at(max_budget * 1.5)
+
+    def test_plan_at_wraps_selection(self, trace_and_workload):
+        trace, workload, max_budget = trace_and_workload
+        plan = trace.plan_at(max_budget / 2)
+        assert plan.algorithm == "GreedyMinVar"
+        assert plan.cost <= max_budget / 2 + 1e-9
+        assert list(plan.selected) == trace.indices_at(max_budget / 2)
+
+    def test_as_rows_shape(self, trace_and_workload):
+        trace, _, _ = trace_and_workload
+        rows = trace.as_rows()
+        assert len(rows) == len(trace)
+        assert {"algorithm", "position", "index", "cost", "gain", "cumulative_cost"} <= set(
+            rows[0]
+        )
+
+    def test_prefix_at_stops_at_first_unaffordable_step(self, trace_and_workload):
+        trace, _, _ = trace_and_workload
+        first_cost = trace.steps[0].cost
+        prefix, spent = trace.prefix_at(first_cost + 1e-12)
+        assert prefix == [trace.steps[0].index]
+        assert spent == pytest.approx(first_cost)
+
+
+class TestSolverProtocol:
+    def test_solve_accepts_problem_bundle(self):
+        workload = uniqueness_workload(generate_urx(n=12, seed=1), window_width=4, gamma=150.0)
+        budget = budget_from_fraction(workload.database, 0.5)
+        problem = MinVarProblem(workload.database, workload.query_function, budget)
+        solver = GreedyMinVar(workload.query_function)
+        plan = solver.solve(problem)
+        assert plan.algorithm == "GreedyMinVar"
+        assert list(plan.selected) == solver.select_indices(workload.database, budget)
+        assert plan.cost <= budget + 1e-9
+
+    def test_non_incremental_solver_refuses_trace(self):
+        workload = uniqueness_workload(generate_urx(n=10, seed=1), window_width=2, gamma=150.0)
+        solver = BestSubmodularMinVar(workload.query_function)
+        assert not solver.supports_trace
+        with pytest.raises(TraceNotSupported):
+            solver.trace(workload.database, 10.0)
+
+    def test_registry_lists_all_paper_algorithms(self):
+        registered = available_solvers()
+        for name in (
+            "Random",
+            "GreedyNaiveCostBlind",
+            "GreedyNaive",
+            "GreedyMinVar",
+            "GreedyMaxPr",
+            "GreedyDep",
+            "GreedyPartialMinVar",
+            "GreedyMinEntropy",
+            "Optimum",
+            "OptimumMaxPr",
+            "Best",
+            "OPT",
+            "AdaptiveMinVar",
+            "AdaptiveMaxPr",
+        ):
+            assert name in registered, f"{name} missing from the solver registry"
+        assert get_solver("GreedyMinVar") is GreedyMinVar
+
+    def test_unknown_solver_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_solver("NoSuchSolver")
+
+
+class TestDatabaseKeyedCaches:
+    """GreedyMaxPr / GreedyDep caches are keyed by database identity."""
+
+    def test_alternating_databases_stay_consistent(self):
+        workload_a = uniqueness_workload(generate_urx(n=14, seed=2), window_width=2, gamma=120.0)
+        workload_b = uniqueness_workload(generate_urx(n=14, seed=9), window_width=2, gamma=120.0)
+        bias_a = Bias(workload_a.perturbations, workload_a.database.current_values)
+        shared = GreedyMaxPr(bias_a, tau=0.5)
+        budget_a = budget_from_fraction(workload_a.database, 0.5)
+        budget_b = budget_from_fraction(workload_b.database, 0.5)
+        first_a = shared.select_indices(workload_a.database, budget_a)
+        # Interleave another database without resetting; results for A must
+        # not change (per-database caches cannot leak across databases).
+        shared.select_indices(workload_b.database, budget_b)
+        second_a = shared.select_indices(workload_a.database, budget_a)
+        assert first_a == second_a
+        fresh = GreedyMaxPr(bias_a, tau=0.5).select_indices(workload_a.database, budget_a)
+        assert second_a == fresh
+
+    def test_reset_cache_is_compatible_alias(self):
+        workload = uniqueness_workload(generate_urx(n=12, seed=2), window_width=2, gamma=120.0)
+        bias = Bias(workload.perturbations, workload.database.current_values)
+        solver = GreedyMaxPr(bias, tau=0.5)
+        budget = budget_from_fraction(workload.database, 0.4)
+        before = solver.select_indices(workload.database, budget)
+        solver.reset_cache()
+        assert solver.select_indices(workload.database, budget) == before
+
+    def test_greedy_minvar_releases_previous_databases(self):
+        import gc
+        import weakref
+
+        workload_a = uniqueness_workload(generate_urx(n=10, seed=1), window_width=2, gamma=120.0)
+        workload_b = uniqueness_workload(generate_urx(n=10, seed=2), window_width=2, gamma=120.0)
+        solver = GreedyMinVar(workload_a.query_function)
+        solver.select_indices(workload_a.database, 10.0)
+        dead = weakref.ref(workload_a.database)
+        # The auto-built calculator keeps only the latest database; touching a
+        # second database must release the first one entirely.
+        solver.select_indices(workload_b.database, 10.0)
+        del workload_a
+        gc.collect()
+        assert dead() is None, "GreedyMinVar must not pin previously swept databases"
+
+    def test_greedy_maxpr_releases_dead_databases(self):
+        import gc
+        import weakref
+
+        workload = uniqueness_workload(generate_urx(n=10, seed=3), window_width=2, gamma=120.0)
+        bias = Bias(workload.perturbations, workload.database.current_values)
+        solver = GreedyMaxPr(bias, tau=0.5)
+        solver.select_indices(workload.database, 10.0)
+        dead = weakref.ref(workload.database)
+        del workload
+        gc.collect()
+        assert dead() is None, "weakly keyed caches must not pin dead databases"
+
+    def test_greedy_dep_cache_keyed_by_database(self):
+        database, claim = _normal_linear_setup(5)
+        other, _ = _normal_linear_setup(17)
+        covariance = decaying_covariance(database.stds, 0.5)
+        model = GaussianWorldModel(database.current_values, covariance)
+        solver = GreedyDep(claim, model, conditional=False)
+        budget = budget_from_fraction(database, 0.5)
+        first = solver.select_indices(database, budget)
+        solver.select_indices(other, budget_from_fraction(other, 0.5))
+        assert solver.select_indices(database, budget) == first
