@@ -14,7 +14,7 @@ import pytest
 from conftest import run_once
 from repro.claims.quality import Bias
 from repro.claims.perturbations import window_sum_perturbations
-from repro.core.adaptive import AdaptiveMaxPr, ground_truth_oracle
+from repro.core.adaptive import AdaptiveMaxPr, run_adaptive_trials
 from repro.core.entropy import GreedyMinEntropy, expected_entropy
 from repro.core.expected_variance import expected_variance_exact, linear_expected_variance
 from repro.core.greedy import GreedyMaxPr, GreedyMinVar
@@ -27,33 +27,39 @@ from repro.experiments.workloads import fairness_window_comparison_workload
 
 @pytest.mark.benchmark(group="ablation-adaptive")
 def test_ablation_adaptive_vs_static_maxpr(benchmark, report):
-    """Adaptive MaxPr stops as soon as a counter is revealed; static does not."""
+    """Adaptive MaxPr stops as soon as a counter is revealed; static does not.
+
+    The Monte-Carlo side runs through :func:`run_adaptive_trials`: one rng
+    draws all hidden worlds in a single stacked ``sample_worlds`` call and
+    the trials share the policy's singleton surprise kernel.
+    """
     database = generate_urx(n=24, seed=5)
     perturbations = window_sum_perturbations(
         n_objects=24, width=4, original_start=20, non_overlapping=True
     )
     bias = Bias(perturbations, database.current_values)
     tau = 10.0
-    rng = np.random.default_rng(1)
+    trials = 5
+    budget = database.total_cost * 0.5
 
     def run_comparison():
-        rows = []
-        for trial in range(5):
-            truth = database.sample_world(rng)
-            budget = database.total_cost * 0.5
-            static_plan = GreedyMaxPr(bias, tau=tau).select(database, budget)
-            adaptive_run = AdaptiveMaxPr(bias, tau=tau).run(
-                database, budget, ground_truth_oracle(truth)
-            )
-            rows.append(
-                {
-                    "trial": trial,
-                    "static_cost": static_plan.cost,
-                    "adaptive_cost": adaptive_run.total_cost,
-                    "adaptive_succeeded": adaptive_run.final_objective == 1.0,
-                }
-            )
-        return rows
+        static_plan = GreedyMaxPr(bias, tau=tau).select(database, budget)
+        batch = run_adaptive_trials(
+            AdaptiveMaxPr(bias, tau=tau),
+            database,
+            budget,
+            trials=trials,
+            rng=np.random.default_rng(1),
+        )
+        return [
+            {
+                "trial": trial,
+                "static_cost": static_plan.cost,
+                "adaptive_cost": run.total_cost,
+                "adaptive_succeeded": run.final_objective == 1.0,
+            }
+            for trial, run in enumerate(batch.runs)
+        ]
 
     rows = run_once(benchmark, run_comparison)
     report(format_rows(rows, title="Ablation: adaptive vs static MaxPr cleaning cost"))

@@ -20,6 +20,7 @@ import numpy as np
 import pytest
 
 from conftest import run_once
+from repro.core.adaptive import AdaptiveMinVar, ground_truth_oracle, run_adaptive_trials
 from repro.core.expected_variance import (
     DecomposedEVCalculator,
     expected_variance_monte_carlo,
@@ -42,6 +43,15 @@ SWEEP_FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.5, 1.0)
 
 ARTIFACT_PATH = Path(__file__).parent / "BENCH_kernels.json"
 SWEEP_ARTIFACT_PATH = Path(__file__).parent / "BENCH_sweeps.json"
+ADAPTIVE_ARTIFACT_PATH = Path(__file__).parent / "BENCH_adaptive.json"
+
+# The incremental conditioning engine's contract (ISSUE 3 acceptance): the
+# n = 2,000 AdaptiveMinVar run (ground-truth oracle, 20% budget) must beat
+# the pre-PR teardown loop by at least this factor.  The measured margin is
+# far larger (hundreds of x); 5x is the floor that flags a regression.
+ADAPTIVE_SPEEDUP_FLOOR = 5.0
+ADAPTIVE_REPEATS = 3
+ADAPTIVE_TRIALS = 5
 
 
 def _time(callable_, repeats: int = 3) -> float:
@@ -135,9 +145,11 @@ def test_sweep_engine_single_trace_n2000(benchmark, report):
     # Warm-up: take numpy / import costs out of the first timed run.
     GreedyMinVar(function).select_indices(database, budget_from_fraction(database, 0.02))
 
-    start = time.perf_counter()
-    GreedyMinVar(function).select_indices(database, full_budget)
-    single_run_seconds = time.perf_counter() - start
+    # Best-of-3 on both sides of the asserted ratio: single wall-clock
+    # samples on shared hosts are noisy enough to eat the contract's margin.
+    single_run_seconds = _time(
+        lambda: GreedyMinVar(function).select_indices(database, full_budget), repeats=3
+    )
 
     def traced_sweep():
         calculator = DecomposedEVCalculator(database, function)
@@ -152,6 +164,7 @@ def test_sweep_engine_single_trace_n2000(benchmark, report):
     start = time.perf_counter()
     traced = run_once(benchmark, traced_sweep)
     traced_seconds = time.perf_counter() - start
+    traced_seconds = min(traced_seconds, _time(traced_sweep, repeats=2))
 
     # Per-budget re-runs with a fresh solver and calculator per budget: the
     # O(budgets x greedy-run) shape the trace engine removes.
@@ -197,4 +210,95 @@ def test_sweep_engine_single_trace_n2000(benchmark, report):
         f"cold per-budget re-runs {per_budget_cold_seconds:.3f}s "
         f"({per_budget_cold_seconds / max(traced_seconds, 1e-9):.1f}x the traced sweep); "
         f"artifact -> {SWEEP_ARTIFACT_PATH.name}"
+    )
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_adaptive_incremental_n2000(benchmark, report):
+    """Incremental conditioning engine vs. the teardown loop (BENCH_adaptive.json).
+
+    Times the n = 2,000 AdaptiveMinVar run (URx uniqueness workload,
+    ground-truth oracle, 20% budget) three ways:
+
+    * the pre-PR teardown loop (``incremental=False``: a full ``cleaned()``
+      database and a fresh calculator per step, O(n) per-candidate scalar
+      gains) — measured once, it is the slow baseline;
+    * the incremental conditioning engine (reveal overlays,
+      condition-chained calculators, neighbour-only gain updates) —
+    best-of-``ADAPTIVE_REPEATS`` cold runs;
+    * the multi-trial driver (``run_adaptive_trials``) — per-trial amortized
+      time when trials share the policy's per-database precomputation.
+
+    Asserts the two paths produce identical runs and that the incremental
+    engine clears the ≥5x acceptance floor, then writes the timings to
+    ``BENCH_adaptive.json`` for the perf trajectory.
+    """
+    workload = _build_scaled_workload(2000, 100.0, 3)
+    database = workload.database
+    function = workload.query_function
+    budget = database.total_cost * 0.2
+    truth = database.sample_world(np.random.default_rng(7))
+    oracle = ground_truth_oracle(truth)
+
+    start = time.perf_counter()
+    scratch_run = AdaptiveMinVar(function, incremental=False).run(database, budget, oracle)
+    scratch_seconds = time.perf_counter() - start
+
+    incremental_seconds = float("inf")
+    incremental_run = None
+    for repeat in range(ADAPTIVE_REPEATS):
+        policy = AdaptiveMinVar(function)  # fresh: no warm per-database state
+        if repeat == 0:
+            start = time.perf_counter()
+            incremental_run = run_once(benchmark, policy.run, database, budget, oracle)
+            elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            incremental_run = policy.run(database, budget, oracle)
+            elapsed = time.perf_counter() - start
+        incremental_seconds = min(incremental_seconds, elapsed)
+
+    assert incremental_run.cleaned_indices == scratch_run.cleaned_indices, (
+        "incremental and teardown adaptive runs must clean the same objects"
+    )
+    assert abs(incremental_run.final_objective - scratch_run.final_objective) <= 1e-9
+
+    speedup = scratch_seconds / max(incremental_seconds, 1e-9)
+    assert speedup >= ADAPTIVE_SPEEDUP_FLOOR, (
+        f"incremental adaptive run took {incremental_seconds:.3f}s vs teardown "
+        f"{scratch_seconds:.3f}s — only {speedup:.1f}x (floor {ADAPTIVE_SPEEDUP_FLOOR}x)"
+    )
+
+    # Multi-trial amortized time: one policy, stacked hidden worlds, shared
+    # base calculator and memo tables across trials.
+    trial_policy = AdaptiveMinVar(function)
+    start = time.perf_counter()
+    batch = run_adaptive_trials(
+        trial_policy, database, budget, trials=ADAPTIVE_TRIALS, rng=np.random.default_rng(11)
+    )
+    trials_seconds = time.perf_counter() - start
+    per_trial_seconds = trials_seconds / ADAPTIVE_TRIALS
+
+    artifact = {
+        "n_objects": 2000,
+        "budget_fraction": 0.2,
+        "steps": len(incremental_run),
+        "teardown_scalar_seconds": scratch_seconds,
+        "incremental_best_of": ADAPTIVE_REPEATS,
+        "incremental_seconds": incremental_seconds,
+        "speedup": speedup,
+        "speedup_floor": ADAPTIVE_SPEEDUP_FLOOR,
+        "multi_trial_trials": ADAPTIVE_TRIALS,
+        "multi_trial_total_seconds": trials_seconds,
+        "multi_trial_per_trial_seconds": per_trial_seconds,
+        "multi_trial_mean_cost": batch.mean_cost,
+    }
+    ADAPTIVE_ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    report(
+        "Adaptive conditioning engine (n=2000, 20% budget): "
+        f"teardown {scratch_seconds:.2f}s, incremental {incremental_seconds:.3f}s "
+        f"({speedup:.0f}x, floor {ADAPTIVE_SPEEDUP_FLOOR:.0f}x), "
+        f"multi-trial amortized {per_trial_seconds:.3f}s/trial over {ADAPTIVE_TRIALS} trials; "
+        f"artifact -> {ADAPTIVE_ARTIFACT_PATH.name}"
     )

@@ -50,8 +50,10 @@ __all__ = [
     "weighted_sum_pmf",
     "weighted_sum_pmf_arrays",
     "weighted_sum_pmf_scalar",
+    "iter_value_blocks",
     "measure_mean",
     "DecomposedEVCalculator",
+    "ev_strategy",
     "make_ev_calculator",
 ]
 
@@ -134,7 +136,7 @@ _SINGLETON_PROBABILITY.setflags(write=False)
 _BATCH_ROWS = 4096
 
 
-def _iter_value_blocks(
+def iter_value_blocks(
     base_values: np.ndarray,
     free_indices: Sequence[int],
     free_worlds: np.ndarray,
@@ -225,7 +227,7 @@ def expected_variance_exact(
     free_worlds, free_probs = database.joint_support_arrays(free_referenced)
     first = np.zeros(cleaned_worlds.shape[0], dtype=float)
     second = np.zeros(cleaned_worlds.shape[0], dtype=float)
-    for matrix, block_probs in _iter_value_blocks(
+    for matrix, block_probs in iter_value_blocks(
         base_values, free_referenced, free_worlds, free_probs
     ):
         for c, world in enumerate(cleaned_worlds):
@@ -377,8 +379,11 @@ class DecomposedEVCalculator:
             self._pair_union_refs[(k, l)] = frozenset(union)
             for i in union:
                 self._pairs_by_object.setdefault(i, []).append((k, l))
-        self._variance_cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
-        self._covariance_cache: Dict[Tuple[int, int, FrozenSet[int]], float] = {}
+        # Memo tables are keyed piece-first (term index / pair) with an inner
+        # dict per piece, so `condition` can drop exactly the pieces a reveal
+        # invalidates and share every other piece's entries with the parent.
+        self._variance_cache: Dict[int, Dict[FrozenSet[int], float]] = {}
+        self._covariance_cache: Dict[Tuple[int, int], Dict[FrozenSet[int], float]] = {}
         # Per-term transformed outer-sum grids for the linear fast path
         # (built lazily; None marks terms whose joint support is too large).
         self._term_grid_cache: Dict[int, Optional[Tuple]] = {}
@@ -388,9 +393,11 @@ class DecomposedEVCalculator:
         """``E_T[ Var[g_k | X_{T ∩ R_k}] ]`` for term ``k``."""
         term = self.terms[k]
         relevant_cleaned = frozenset(cleaned & term.referenced_indices)
-        key = (k, relevant_cleaned)
-        if key in self._variance_cache:
-            return self._variance_cache[key]
+        cache = self._variance_cache.get(k)
+        if cache is None:
+            cache = self._variance_cache[k] = {}
+        if relevant_cleaned in cache:
+            return cache[relevant_cleaned]
 
         free = sorted(term.referenced_indices - relevant_cleaned)
         if (
@@ -401,7 +408,7 @@ class DecomposedEVCalculator:
             total = self._linear_term_expected_variance(k, term, sorted(relevant_cleaned), free)
         else:
             total = self._generic_term_expected_variance(term, sorted(relevant_cleaned), free)
-        self._variance_cache[key] = total
+        cache[relevant_cleaned] = total
         return total
 
     # Joint supports beyond this size skip the precomputed grid and fall back
@@ -563,7 +570,7 @@ class DecomposedEVCalculator:
 
         first = np.zeros(cleaned_worlds.shape[0], dtype=float)
         second = np.zeros(cleaned_worlds.shape[0], dtype=float)
-        for matrix, block_probs in _iter_value_blocks(
+        for matrix, block_probs in iter_value_blocks(
             self._base_values, free, free_worlds, free_probs
         ):
             for c, world in enumerate(cleaned_worlds):
@@ -602,9 +609,11 @@ class DecomposedEVCalculator:
         term_l = self.terms[l]
         union = term_k.referenced_indices | term_l.referenced_indices
         relevant_cleaned = frozenset(cleaned & union)
-        key = (k, l, relevant_cleaned)
-        if key in self._covariance_cache:
-            return self._covariance_cache[key]
+        cache = self._covariance_cache.get((k, l))
+        if cache is None:
+            cache = self._covariance_cache[(k, l)] = {}
+        if relevant_cleaned in cache:
+            return cache[relevant_cleaned]
 
         free = sorted(union - relevant_cleaned)
         cleaned_sorted = sorted(relevant_cleaned)
@@ -616,7 +625,7 @@ class DecomposedEVCalculator:
             total = self._pair_expected_covariance_scalar(
                 term_k, term_l, cleaned_sorted, free
             )
-        self._covariance_cache[key] = total
+        cache[relevant_cleaned] = total
         return total
 
     def _pair_expected_covariance_batched(
@@ -629,7 +638,7 @@ class DecomposedEVCalculator:
         mean_k = np.zeros(cleaned_worlds.shape[0], dtype=float)
         mean_l = np.zeros(cleaned_worlds.shape[0], dtype=float)
         mean_kl = np.zeros(cleaned_worlds.shape[0], dtype=float)
-        for matrix, block_probs in _iter_value_blocks(
+        for matrix, block_probs in iter_value_blocks(
             self._base_values, free, free_worlds, free_probs
         ):
             for c, world in enumerate(cleaned_worlds):
@@ -705,6 +714,46 @@ class DecomposedEVCalculator:
             gain -= 2.0 * self._pair_expected_covariance(k, l, relevant | {candidate})
         return float(gain)
 
+    def condition(self, index: int, value: float) -> "DecomposedEVCalculator":
+        """Calculator for the database with object ``index`` revealed to ``value``.
+
+        The incremental counterpart of building a fresh calculator on
+        ``database.cleaned({index: value})``: the term decomposition, the
+        inverted indexes, and the memo/grid entries of every term and pair
+        that does *not* reference the revealed object are shared with this
+        calculator (a reveal cannot change a piece that never reads the
+        object), while the affected pieces are invalidated and recomputed
+        lazily against the conditioned overlay database.  Shared inner memo
+        dicts are extended in place by whichever calculator computes a piece
+        first, so a fleet of conditioned calculators (one per adaptive trial)
+        amortizes the unaffected work across the whole batch.  Results match
+        the from-scratch rebuild exactly.
+        """
+        index = int(index)
+        conditioned_db = self.database.conditioned(index, value)
+        other = object.__new__(DecomposedEVCalculator)
+        other.database = conditioned_db
+        other.measure = self.measure
+        other.vectorized = self.vectorized
+        other.terms = self.terms
+        other._base_values = conditioned_db.current_values
+        other._interacting_pairs = self._interacting_pairs
+        other._terms_by_object = self._terms_by_object
+        other._pairs_by_object = self._pairs_by_object
+        other._pair_union_refs = self._pair_union_refs
+        variance_cache = dict(self._variance_cache)
+        grid_cache = dict(self._term_grid_cache)
+        for k in self._terms_by_object.get(index, ()):
+            variance_cache.pop(k, None)
+            grid_cache.pop(k, None)
+        covariance_cache = dict(self._covariance_cache)
+        for pair in self._pairs_by_object.get(index, ()):
+            covariance_cache.pop(pair, None)
+        other._variance_cache = variance_cache
+        other._covariance_cache = covariance_cache
+        other._term_grid_cache = grid_cache
+        return other
+
     @property
     def interacting_pairs(self) -> List[Tuple[int, int]]:
         """Indices of term pairs that share referenced objects (may be correlated)."""
@@ -712,7 +761,10 @@ class DecomposedEVCalculator:
 
     def cache_sizes(self) -> Tuple[int, int]:
         """Number of memoized single-term and pairwise pieces (for diagnostics)."""
-        return len(self._variance_cache), len(self._covariance_cache)
+        return (
+            sum(len(entries) for entries in self._variance_cache.values()),
+            sum(len(entries) for entries in self._covariance_cache.values()),
+        )
 
 
 def measure_mean(database: UncertainDatabase, measure: ClaimQualityMeasure) -> float:
@@ -741,11 +793,26 @@ def measure_mean(database: UncertainDatabase, measure: ClaimQualityMeasure) -> f
             continue
         referenced = sorted(term.referenced_indices)
         worlds, probabilities = database.joint_support_arrays(referenced)
-        for matrix, block_probs in _iter_value_blocks(
+        for matrix, block_probs in iter_value_blocks(
             base_values, referenced, worlds, probabilities
         ):
             total += float(block_probs @ term.evaluate_batch(matrix))
     return float(total)
+
+
+def ev_strategy(database: UncertainDatabase, function: ClaimFunction) -> str:
+    """Which EV strategy :func:`make_ev_calculator` will pick, as a name.
+
+    One of ``"decomposed"``, ``"linear"``, ``"exact"`` — the rows of the
+    strategy table below, first match winning.  Exposed so callers that
+    specialize per strategy (the incremental adaptive engine) route exactly
+    like the calculator factory instead of duplicating the predicates.
+    """
+    if isinstance(function, ClaimQualityMeasure) and database.all_discrete():
+        return "decomposed"
+    if function.is_linear():
+        return "linear"
+    return "exact"
 
 
 def make_ev_calculator(database: UncertainDatabase, function: ClaimFunction):
@@ -770,10 +837,11 @@ def make_ev_calculator(database: UncertainDatabase, function: ClaimFunction):
     for the retained scalar reference paths.  Exact enumeration is exponential
     in the referenced set, so it only suits small instances.
     """
-    if isinstance(function, ClaimQualityMeasure) and database.all_discrete():
+    strategy = ev_strategy(database, function)
+    if strategy == "decomposed":
         calculator = DecomposedEVCalculator(database, function)
         return calculator.expected_variance
-    if function.is_linear():
+    if strategy == "linear":
         weights = function.weights(len(database))
 
         def linear_ev(cleaned: Iterable[int]) -> float:

@@ -37,6 +37,7 @@ __all__ = [
     "surprise_probability_normal_linear",
     "surprise_probability_discrete_linear",
     "make_surprise_calculator",
+    "SingletonSurpriseKernel",
 ]
 
 
@@ -236,6 +237,99 @@ def surprise_probability_discrete_linear(
             return float(stats.norm.cdf((-tau - mean_shift) / np.sqrt(variance)))
 
     return float(masses[drops < -tau - 1e-12].sum())
+
+
+class SingletonSurpriseKernel:
+    """Batched ``Pr[f drops by > tau | clean {i}]`` for every object at once.
+
+    The adaptive MaxPr policy needs, at every step, the singleton surprise
+    probability of each affordable candidate *relative to the working
+    database's current values*.  Re-drawing a single object ``i`` changes a
+    linear ``f`` by ``w_i (X_i - u_i)`` — a per-object quantity that does not
+    depend on any other object's value, and (crucially) does not change when
+    *other* objects are revealed.  The kernel therefore precomputes the
+    per-object drop statistics once against the base database and answers
+    every later step with one vectorized pass; only the drop threshold
+    ``tau`` varies, and revealed objects simply stop being candidates.
+
+    Paths (mirroring :func:`make_surprise_calculator`'s preference order):
+
+    * linear ``f`` + all-normal database — Lemma 3.3 closed form, one
+      vectorized ``Phi`` over all candidates.  Note this stays exact for the
+      whole adaptive run, whereas the teardown path loses the closed form
+      after the first reveal (a cleaned object makes the database mixed and
+      forces the Monte-Carlo fallback).
+    * linear ``f`` + all-discrete database — per-object drop supports
+      flattened into one array; each query is a vectorized comparison plus a
+      segment sum (``np.add.reduceat``).
+    * anything else — :attr:`supported` is False and callers fall back to a
+      per-candidate calculator.
+
+    ``tau`` is expected to be nonnegative (the adaptive policy clamps the
+    required drop at zero), matching the scalar calculators' conventions.
+    """
+
+    def __init__(self, database: UncertainDatabase, function: ClaimFunction):
+        self.database = database
+        self.function = function
+        self.mode: Optional[str] = None
+        n = len(database)
+        if not function.is_linear():
+            return
+        weights = function.weights(n)
+        self._weights = weights
+        if database.all_normal():
+            self.mode = "normal"
+            self._shift = weights * (database.means - database.current_values)
+            self._sd = np.abs(weights) * database.stds
+        elif database.all_discrete():
+            self.mode = "discrete"
+            drops: list = []
+            masses: list = []
+            lengths = np.empty(n, dtype=np.intp)
+            current = database.current_values
+            for i in range(n):
+                distribution = database[i].distribution
+                drops.append(weights[i] * (distribution.values - current[i]))
+                masses.append(distribution.probabilities)
+                lengths[i] = distribution.values.size
+            self._drops = np.concatenate(drops)
+            self._masses = np.concatenate(masses)
+            offsets = np.zeros(n, dtype=np.intp)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            self._offsets = offsets
+
+    @property
+    def supported(self) -> bool:
+        return self.mode is not None
+
+    def scores(self, tau: float) -> np.ndarray:
+        """Vector of ``Pr[w_i (X_i - u_i) < -tau]`` for every object ``i``.
+
+        Entries agree with the scalar calculators candidate by candidate:
+        the normal path mirrors :func:`surprise_probability_normal_linear`
+        (including the zero-variance tie convention) and the discrete path
+        mirrors :func:`surprise_probability_discrete_linear` restricted to a
+        single cleaned object.  Entries for already-revealed objects are
+        meaningless by construction (they are never candidates again).
+        """
+        if self.mode == "normal":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                z = (-tau - self._shift) / self._sd
+                probabilities = stats.norm.cdf(z)
+            degenerate = self._sd <= 0.0
+            if degenerate.any():
+                probabilities = np.where(
+                    degenerate, (self._shift < -tau).astype(float), probabilities
+                )
+            return np.asarray(probabilities, dtype=float)
+        if self.mode == "discrete":
+            hit_mass = np.where(self._drops < -tau - 1e-12, self._masses, 0.0)
+            return np.add.reduceat(hit_mass, self._offsets)
+        raise TypeError(
+            "no batched singleton path for this function/database combination; "
+            "check .supported and fall back to a per-candidate calculator"
+        )
 
 
 def make_surprise_calculator(

@@ -14,8 +14,13 @@ exposes:
 * world sampling (for Monte-Carlo estimators and the "in action" experiments),
   batched column-by-column through ``distribution.sample(rng, size)``;
 * conditioning: producing the database that results from cleaning a subset of
-  objects to specific revealed values (``with_current_values`` / ``cleaned`` /
-  ``subset`` always return fresh instances with their own cached vectors).
+  objects to specific revealed values.  ``with_current_values`` / ``cleaned``
+  / ``subset`` return fresh instances with their own cached vectors (a full
+  O(n) rebuild), while :meth:`UncertainDatabase.conditioned` returns a cheap
+  *reveal overlay* — shared name index and cost vector, numpy-copied stat
+  vectors with the reveal applied, and an object list materialized lazily —
+  which is what the adaptive policies use so that a k-step run costs k small
+  deltas instead of k full rebuilds.
 """
 
 from __future__ import annotations
@@ -47,8 +52,15 @@ class UncertainDatabase:
         if len(set(names)) != len(names):
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate object names: {duplicates}")
-        self._objects: List[UncertainObject] = objects
+        self._objects_list: Optional[List[UncertainObject]] = objects
         self._index_by_name: Dict[str, int] = {obj.name: i for i, obj in enumerate(objects)}
+        # Reveal-overlay state.  A plain database is its own base; an overlay
+        # built by `conditioned` references the *root* database (never an
+        # intermediate overlay, so chains of reveals don't pin dead overlays)
+        # plus the accumulated {index: revealed value} delta.
+        self._overlay_base: Optional["UncertainDatabase"] = None
+        self._overlay_delta: Dict[int, float] = {}
+        self._overlay_objects: Dict[int, UncertainObject] = {}
         # Objects are immutable (frozen dataclasses), so the vector views can
         # be materialized once and shared.  They are marked read-only; callers
         # that need a scratch vector copy first (as they already did).
@@ -66,17 +78,115 @@ class UncertainDatabase:
         return array
 
     # ------------------------------------------------------------------ #
+    # Reveal overlays (incremental conditioning)
+    # ------------------------------------------------------------------ #
+    @property
+    def _objects(self) -> List[UncertainObject]:
+        """The object list; materialized on first full access for overlays."""
+        if self._objects_list is None:
+            materialized = list(self._overlay_base._objects)
+            for index in self._overlay_delta:
+                materialized[index] = self._revealed_object(index)
+            self._objects_list = materialized
+        return self._objects_list
+
+    def _revealed_object(self, index: int) -> UncertainObject:
+        """The cleaned object an overlay exposes at a revealed position."""
+        cached = self._overlay_objects.get(index)
+        if cached is None:
+            cached = self._overlay_base._objects[index].cleaned(self._overlay_delta[index])
+            self._overlay_objects[index] = cached
+        return cached
+
+    @classmethod
+    def _make_overlay(
+        cls, base: "UncertainDatabase", delta: Dict[int, float]
+    ) -> "UncertainDatabase":
+        """Overlay of ``base`` with the reveals in ``delta`` applied.
+
+        Skips ``__init__`` entirely: the name index, cost vector and total
+        cost are shared with the base (reveals change neither), the four
+        per-object stat vectors are numpy copies with the revealed entries
+        overwritten, and the object list is left unmaterialized.
+        """
+        overlay = object.__new__(cls)
+        overlay._objects_list = None
+        overlay._index_by_name = base._index_by_name
+        overlay._overlay_base = base
+        overlay._overlay_delta = delta
+        overlay._overlay_objects = {}
+        indices = np.fromiter(delta.keys(), dtype=np.intp, count=len(delta))
+        values = np.fromiter(delta.values(), dtype=float, count=len(delta))
+        current = base._current_values.copy()
+        current[indices] = values
+        current.setflags(write=False)
+        means = base._means.copy()
+        means[indices] = values
+        means.setflags(write=False)
+        variances = base._variances.copy()
+        variances[indices] = 0.0
+        variances.setflags(write=False)
+        stds = base._stds.copy()
+        stds[indices] = 0.0
+        stds.setflags(write=False)
+        overlay._current_values = current
+        overlay._means = means
+        overlay._variances = variances
+        overlay._stds = stds
+        overlay._costs = base._costs
+        overlay._total_cost = base._total_cost
+        return overlay
+
+    def conditioned(self, index: int, value: float) -> "UncertainDatabase":
+        """Database after revealing object ``index`` to ``value`` — a cheap overlay.
+
+        Semantically identical to ``cleaned({index: value})`` (the revealed
+        object becomes a point mass at ``value`` and its mean/variance views
+        update accordingly) but without rebuilding the n objects or
+        re-deriving the cached vectors: the overlay shares the base's name
+        index and cost vector, copies the stat vectors with one entry
+        overwritten, and materializes cleaned objects lazily.  Conditioning
+        an overlay extends its delta against the same root database, so a
+        chain of k reveals holds one root reference and a k-entry delta —
+        intermediate overlays are garbage-collectable.
+        """
+        index = int(index)
+        if not 0 <= index < len(self):
+            raise IndexError(f"object index {index} out of range for n={len(self)}")
+        if self._overlay_base is None:
+            return self._make_overlay(self, {index: float(value)})
+        delta = dict(self._overlay_delta)
+        delta[index] = float(value)
+        return self._make_overlay(self._overlay_base, delta)
+
+    @property
+    def revealed(self) -> Dict[int, float]:
+        """The reveals this overlay applies to its base (empty for plain databases)."""
+        return dict(self._overlay_delta)
+
+    # ------------------------------------------------------------------ #
     # Basic container protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._objects)
+        # Via the stat vector, not the object list: overlays answer len()
+        # without materializing their objects.
+        return int(self._current_values.shape[0])
 
     def __iter__(self) -> Iterator[UncertainObject]:
         return iter(self._objects)
 
     def __getitem__(self, key) -> UncertainObject:
         if isinstance(key, str):
-            return self._objects[self._index_by_name[key]]
+            key = self._index_by_name[key]
+        if self._objects_list is None and isinstance(key, (int, np.integer)):
+            # Overlay fast path: serve single objects through the delta
+            # without materializing the full list.
+            index = int(key)
+            if index < 0:
+                index += len(self)
+            if index in self._overlay_delta:
+                return self._revealed_object(index)
+            return self._overlay_base._objects[index]
         return self._objects[key]
 
     def __contains__(self, name: str) -> bool:

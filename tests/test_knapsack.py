@@ -181,3 +181,39 @@ class TestMinKnapsack:
     def test_rejects_bound_above_total(self):
         with pytest.raises(ValueError):
             solve_min_knapsack_dp([1.0], [1.0], 2.0)
+
+
+class TestScalarVectorizedEquivalence:
+    """The numpy rolling-array DP rows and the retained scalar loops agree."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dp_equivalence(self, seed):
+        r = np.random.default_rng(seed)
+        n = int(r.integers(1, 18))
+        values = r.uniform(0.0, 10.0, size=n)
+        costs = r.uniform(0.5, 6.0, size=n)
+        if r.integers(0, 2):
+            costs = np.ceil(costs)  # exercise the exact integer-cost grid too
+        budget = float(r.uniform(0.5, costs.sum()))
+        fast = solve_knapsack_dp(values, costs, budget)
+        slow = solve_knapsack_dp(values, costs, budget, vectorized=False)
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fptas_equivalence(self, seed):
+        r = np.random.default_rng(100 + seed)
+        n = int(r.integers(1, 14))
+        values = r.uniform(0.0, 10.0, size=n)
+        costs = r.uniform(0.5, 6.0, size=n)
+        budget = float(r.uniform(0.5, costs.sum()))
+        epsilon = float(r.uniform(0.05, 0.5))
+        fast = solve_knapsack_fptas(values, costs, budget, epsilon=epsilon)
+        slow = solve_knapsack_fptas(values, costs, budget, epsilon=epsilon, vectorized=False)
+        assert fast == slow
+
+    def test_dp_scalar_respects_budget_and_optimality(self):
+        values = [6.0, 10.0, 12.0]
+        costs = [1.0, 2.0, 3.0]
+        solution = solve_knapsack_dp(values, costs, 5.0, vectorized=False)
+        assert set(solution.selected) == {1, 2}
+        assert solution.total_value == pytest.approx(22.0)

@@ -202,3 +202,48 @@ class TestEntropy:
         entropy_choice = GreedyMinEntropy(claim).select_indices(db, 1.0)
         assert minvar_choice == [0]  # variance dominated by the rare huge error
         assert entropy_choice == [1]  # entropy dominated by the fair coin
+
+
+class TestVectorizedEntropyEquivalence:
+    """The array entropy/pmf kernels match the retained scalar loops."""
+
+    def _random_db(self, rng, n):
+        objects = []
+        for i in range(n):
+            k = int(rng.integers(2, 5))
+            values = np.sort(rng.uniform(0.0, 40.0, size=k))
+            probabilities = rng.uniform(0.2, 1.0, size=k)
+            objects.append(
+                UncertainObject(
+                    f"o{i}", float(rng.uniform(0.0, 40.0)),
+                    DiscreteDistribution(values, probabilities),
+                    cost=float(rng.uniform(0.5, 3.0)),
+                )
+            )
+        return UncertainDatabase(objects)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_entropy_of_pmf_matches_scalar(self, seed):
+        from repro.core.entropy import entropy_of_pmf_scalar
+
+        rng = np.random.default_rng(seed)
+        mass = rng.uniform(0.0, 1.0, size=int(rng.integers(1, 40)))
+        mass = mass / mass.sum()
+        assert entropy_of_pmf(mass) == pytest.approx(
+            entropy_of_pmf_scalar(mass.tolist()), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_result_and_expected_entropy_match_scalar(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        db = self._random_db(rng, 7)
+        linear = LinearClaim.from_vector(rng.uniform(-2.0, 2.0, size=7))
+        indicator = ThresholdClaim(SumClaim(range(7)), threshold=120.0, op=">=")
+        for function in (linear, indicator):
+            assert result_entropy(db, function) == pytest.approx(
+                result_entropy(db, function, vectorized=False), abs=1e-9
+            )
+            for cleaned in ([], [0], [1, 4], [0, 2, 5, 6]):
+                assert expected_entropy(db, function, cleaned) == pytest.approx(
+                    expected_entropy(db, function, cleaned, vectorized=False), abs=1e-9
+                )
