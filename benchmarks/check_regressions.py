@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fail loudly when any BENCH_*.json artifact exceeds its regression ceiling.
+
+The perf-regression tests assert the same contracts, but a contract buried in
+a pytest failure is easy to miss among unrelated errors — CI runs this script
+as its own step (even when the test step failed), so a breached ceiling is a
+named, red job step of its own.
+
+Each known artifact declares which of its keys is the measured value and
+which is the committed ceiling/floor it must respect.  Unknown ``BENCH_*``
+files are reported but not enforced (add a rule when a new artifact lands);
+a known artifact with missing keys fails loudly — a silently renamed key
+must not disable its gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# artifact name -> list of (measured key, comparator, limit key)
+RULES = {
+    "BENCH_kernels.json": [
+        ("greedy_decomposed_ev_seconds", "<=", "greedy_ceiling_seconds"),
+    ],
+    "BENCH_sweeps.json": [
+        ("traced_over_single_ratio", "<=", "ratio_ceiling"),
+    ],
+    "BENCH_adaptive.json": [
+        ("speedup", ">=", "speedup_floor"),
+    ],
+    "BENCH_dep.json": [
+        ("speedup", ">=", "speedup_floor"),
+        ("lazy_benefit_evaluations", "<=", "eager_benefit_evaluations"),
+    ],
+}
+
+
+def check(path: Path) -> list:
+    failures = []
+    rules = RULES.get(path.name)
+    if rules is None:
+        print(f"  ? {path.name}: no regression rule registered (not enforced)")
+        return failures
+    data = json.loads(path.read_text())
+    for measured_key, comparator, limit_key in rules:
+        if measured_key not in data or limit_key not in data:
+            failures.append(
+                f"{path.name}: expected keys {measured_key!r} and {limit_key!r} "
+                f"are missing — the artifact schema changed without updating "
+                f"{Path(__file__).name}"
+            )
+            continue
+        measured = float(data[measured_key])
+        limit = float(data[limit_key])
+        ok = measured <= limit if comparator == "<=" else measured >= limit
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"  {'✓' if ok else '✗'} {path.name}: {measured_key}={measured:g} "
+            f"{comparator} {limit_key}={limit:g} [{verdict}]"
+        )
+        if not ok:
+            failures.append(
+                f"{path.name}: {measured_key}={measured:g} violates "
+                f"{measured_key} {comparator} {limit_key}={limit:g}"
+            )
+    return failures
+
+
+def main() -> int:
+    bench_dir = Path(__file__).parent
+    artifacts = sorted(bench_dir.glob("BENCH_*.json"))
+    if not artifacts:
+        print("no BENCH_*.json artifacts found — nothing to check")
+        return 1
+    print(f"checking {len(artifacts)} benchmark artifact(s) in {bench_dir}:")
+    failures = []
+    for path in artifacts:
+        failures.extend(check(path))
+    if failures:
+        print("\nPERF REGRESSION CEILING EXCEEDED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("all benchmark artifacts within their regression ceilings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ next.  Adaptivity is particularly useful for MaxPr: once a counterargument has
 been revealed there is no reason to keep spending budget, and a revealed value
 changes which remaining objects are most likely to produce the needed drop.
 
-Two policies are provided:
+Three policies are provided:
 
 * :class:`AdaptiveMinVar` — at every step cleans the affordable object with
   the largest reduction in expected variance *given everything revealed so
@@ -16,6 +16,11 @@ Two policies are provided:
   maximizes the probability of reaching the surprise target given the values
   revealed so far, and stops as soon as the target is already met (or no
   object can still help).
+* :class:`AdaptiveDep` — the correlation-aware MinVar policy: reveals update
+  a maintained conditional covariance through rank-one downdates
+  (:class:`~repro.uncertainty.correlation.ConditionalGaussian`), so each step
+  is one reveal, one O(n^2) downdate, and one vectorized scoring pass over
+  every remaining candidate.
 
 Both interact with the world through a *reveal oracle* — any callable mapping
 an object index to its true value.  :func:`ground_truth_oracle` builds one
@@ -67,6 +72,7 @@ from repro.core.expected_variance import (
 )
 from repro.core.solver import Solver, register_solver
 from repro.core.surprise import SingletonSurpriseKernel, make_surprise_calculator
+from repro.uncertainty.correlation import GaussianWorldModel
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -77,6 +83,7 @@ __all__ = [
     "AdaptiveRun",
     "AdaptiveMinVar",
     "AdaptiveMaxPr",
+    "AdaptiveDep",
     "AdaptiveTrialsResult",
     "run_adaptive_trials",
 ]
@@ -580,6 +587,164 @@ class AdaptiveMaxPr(_AdaptivePolicy):
             )
             run.total_cost = spent
             run.final_objective = run.steps[-1].objective_after
+
+
+@register_solver
+class AdaptiveDep(_AdaptivePolicy):
+    """Correlation-aware adaptive MinVar: reveal, rank-one downdate, re-score.
+
+    The dependency-aware analogue of :class:`AdaptiveMinVar`: the error model
+    is a :class:`~repro.uncertainty.correlation.GaussianWorldModel` (full
+    covariance matrix), so revealing one object shrinks the uncertainty of
+    every object correlated with it.  Each step follows the PR-3 conditioning
+    pattern end to end — reveal the chosen object, apply one O(n^2) rank-one
+    downdate to the maintained conditional covariance
+    (:class:`~repro.uncertainty.correlation.ConditionalGaussian`), and
+    re-score *all* remaining candidates in a single vectorized gains pass —
+    instead of a fresh Schur complement per candidate per step.
+
+    Note that for a multivariate normal the conditional covariance does not
+    depend on the revealed *values*, so the selection order matches the
+    static :class:`~repro.core.greedy.GreedyDep` loop (without its knapsack
+    safeguard); what adaptivity adds is the recorded trajectory — the actual
+    reveals and the conditional-variance profile — and early stopping once no
+    affordable candidate reduces the variance by more than ``min_gain``.
+    ``conditional=False`` uses the marginal (Theorem 3.9) semantics, and
+    ``incremental=False`` retains the teardown twin that recomputes every
+    candidate's post-cleaning variance from scratch each step.
+    """
+
+    name = "AdaptiveDep"
+
+    def __init__(
+        self,
+        function: ClaimFunction,
+        model: GaussianWorldModel,
+        min_gain: float = 1e-12,
+        conditional: bool = True,
+        incremental: bool = True,
+    ):
+        if not function.is_linear():
+            raise TypeError("AdaptiveDep requires a linear query function")
+        self.function = function
+        self.model = model
+        self.min_gain = min_gain
+        self.conditional = bool(conditional)
+        self.incremental = bool(incremental)
+        self._prepared = None
+
+    def run(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        oracle: RevealOracle,
+    ) -> AdaptiveRun:
+        if not self.incremental:
+            return self._run_scratch(database, budget, oracle)
+        n = len(database)
+        costs = database.costs
+        weights = self.function.weights(n)
+        engine = self.model.engine(weights, conditional=self.conditional)
+        run = AdaptiveRun()
+        spent = 0.0
+        feasible = np.ones(n, dtype=bool)
+        current = engine.variance()
+        gains = engine.gains()
+        ratios = np.where(feasible, gains / costs, -np.inf)
+
+        while True:
+            pruned = feasible & ((spent + costs) > budget + 1e-9)
+            if pruned.any():
+                feasible &= ~pruned
+                ratios[pruned] = -np.inf
+            if not feasible.any():
+                run.final_objective = current
+                return run
+            best = int(np.argmax(ratios))
+            if gains[best] <= self.min_gain:
+                run.final_objective = current
+                run.stopped_early = True
+                return run
+
+            revealed = oracle(best)
+            engine.condition_on(best)
+            after = engine.variance()
+            feasible[best] = False
+            spent += costs[best]
+            run.steps.append(
+                AdaptiveStep(
+                    index=best,
+                    revealed_value=float(revealed),
+                    cost=float(costs[best]),
+                    objective_before=current,
+                    objective_after=after,
+                )
+            )
+            run.total_cost = spent
+            run.final_objective = after
+            current = after
+            # Correlations can move any candidate's gain, so every step
+            # re-scores all of them — one vectorized pass on the engine.
+            gains = engine.gains()
+            ratios = np.where(feasible, gains / costs, -np.inf)
+
+    # -- retained scratch twin ---------------------------------------------- #
+    def _variance_after_scratch(self, weights: np.ndarray, cleaned: Sequence[int]) -> float:
+        if self.conditional:
+            return self.model.post_cleaning_variance(weights, cleaned)
+        n = self.model.size
+        cleaned_set = set(int(i) for i in cleaned)
+        remaining = [i for i in range(n) if i not in cleaned_set]
+        w = weights[remaining]
+        sub = self.model.covariance[np.ix_(remaining, remaining)]
+        return float(w @ sub @ w)
+
+    def _run_scratch(
+        self, database: UncertainDatabase, budget: float, oracle: RevealOracle
+    ) -> AdaptiveRun:
+        """Teardown loop: one Schur complement per candidate per step."""
+        n = len(database)
+        costs = database.costs
+        weights = self.function.weights(n)
+        run = AdaptiveRun()
+        spent = 0.0
+        cleaned: List[int] = []
+
+        while True:
+            current = self._variance_after_scratch(weights, cleaned)
+            candidates = [
+                i
+                for i in range(n)
+                if i not in cleaned and spent + costs[i] <= budget + 1e-9
+            ]
+            if not candidates:
+                run.final_objective = current
+                return run
+            gains = {
+                i: current - self._variance_after_scratch(weights, cleaned + [i])
+                for i in candidates
+            }
+            best = max(candidates, key=lambda i: gains[i] / costs[i])
+            if gains[best] <= self.min_gain:
+                run.final_objective = current
+                run.stopped_early = True
+                return run
+
+            revealed = oracle(best)
+            cleaned.append(best)
+            spent += costs[best]
+            after = self._variance_after_scratch(weights, cleaned)
+            run.steps.append(
+                AdaptiveStep(
+                    index=best,
+                    revealed_value=float(revealed),
+                    cost=float(costs[best]),
+                    objective_before=current,
+                    objective_after=after,
+                )
+            )
+            run.total_cost = spent
+            run.final_objective = after
 
 
 @dataclass

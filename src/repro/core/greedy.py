@@ -41,7 +41,7 @@ from repro.core.solver import (
     register_solver,
 )
 from repro.core.surprise import make_surprise_calculator
-from repro.uncertainty.correlation import GaussianWorldModel
+from repro.uncertainty.correlation import ConditionalGaussian, GaussianWorldModel
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -552,6 +552,12 @@ class GreedyMaxPr(_DatabaseKeyedCache, ResumableSolver):
     computed for one database can never leak into another even when callers
     forget the manual reset.  :meth:`reset_cache` remains as the explicit
     reset point that keeps long-lived solvers from accumulating caches.
+
+    ``lazy=True`` opts into CELF-style lazy re-evaluation inside
+    ``greedy_select`` — exact when marginal probability gains are
+    non-increasing in the selected set; :attr:`last_benefit_evaluations`
+    records how many benefit evaluations the most recent run spent, which is
+    where the lazy path's saving shows up.
     """
 
     name = "GreedyMaxPr"
@@ -563,12 +569,17 @@ class GreedyMaxPr(_DatabaseKeyedCache, ResumableSolver):
         rng: Optional[np.random.Generator] = None,
         monte_carlo_samples: int = 4000,
         method: str = "auto",
+        lazy: bool = False,
     ):
         self.function = function
         self.tau = tau
         self.rng = rng
         self.monte_carlo_samples = monte_carlo_samples
         self.method = method
+        self.lazy = bool(lazy)
+        #: Benefit evaluations spent by the most recent ``_run`` (None before
+        #: any run) — the metric the lazy CELF path reduces.
+        self.last_benefit_evaluations: Optional[int] = None
         self._init_caches()
 
     def _run(
@@ -587,6 +598,7 @@ class GreedyMaxPr(_DatabaseKeyedCache, ResumableSolver):
             method=self.method,
         )
         cache = self._cache_for(database)
+        evaluations = 0
 
         def pr(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -595,22 +607,27 @@ class GreedyMaxPr(_DatabaseKeyedCache, ResumableSolver):
             return cache[key]
 
         def benefit(current: Sequence[int], index: int) -> float:
+            nonlocal evaluations
+            evaluations += 1
             current_tuple = tuple(current)
             return pr(current_tuple + (index,)) - pr(current_tuple)
 
-        return greedy_select(
+        selected = greedy_select(
             database,
             budget,
             benefit,
             adaptive=True,
             stop_when_no_gain=True,
+            lazy=self.lazy,
             initial_selection=initial_selection,
             record_steps=record_steps,
         )
+        self.last_benefit_evaluations = evaluations
+        return selected
 
 
 @register_solver
-class GreedyDep(_DatabaseKeyedCache, ResumableSolver):
+class GreedyDep(ResumableSolver):
     """Dependency-aware greedy for MinVar with a linear query function.
 
     Uses a :class:`GaussianWorldModel` (means + full covariance matrix) to
@@ -623,21 +640,53 @@ class GreedyDep(_DatabaseKeyedCache, ResumableSolver):
     (statistically exact) or the marginal variance of the objects left
     unclean (the formulation the paper's Theorem 3.9 derivation uses).
 
-    Post-cleaning variances are cached per database *identity* (weakly keyed
-    per database object): budget sweeps reuse them, and a different database
-    can never read another database's entries.  :meth:`reset_cache` remains
-    as the explicit reset point for long-lived solvers.
+    The default path (``incremental=True``) runs on the
+    :class:`~repro.uncertainty.correlation.ConditionalGaussian` engine: one
+    rank-one downdate plus one vectorized gains pass per step, O(n^2)
+    instead of one Schur complement per candidate per step.  Both
+    ``conditional`` modes are covered (the marginal mode maintains the same
+    matvec under row/column zeroing).  ``incremental=False`` retains the
+    original scratch loop as the reference twin, now with a *per-run* set
+    cache — the old per-frozenset cache grew without bound across a sweep;
+    trace warm-starts recompute the (deterministic) prefix variances instead,
+    so the read-back stays exact.  ``lazy=True`` opts the scratch path into
+    CELF-style lazy re-evaluation; it requires ``incremental=False``
+    explicitly (the engine has no per-candidate evaluations for CELF to
+    skip, and silently downgrading would be a large slowdown).
     """
 
     name = "GreedyDep"
 
-    def __init__(self, function: ClaimFunction, model: GaussianWorldModel, conditional: bool = True):
+    def __init__(
+        self,
+        function: ClaimFunction,
+        model: GaussianWorldModel,
+        conditional: bool = True,
+        incremental: bool = True,
+        lazy: bool = False,
+    ):
         if not function.is_linear():
             raise TypeError("GreedyDep requires a linear query function")
+        if lazy and incremental:
+            raise ValueError(
+                "lazy=True applies to the scratch per-candidate loop; pass "
+                "incremental=False with it (the incremental engine scores all "
+                "candidates in one vectorized pass — there are no per-candidate "
+                "evaluations for CELF to skip, and silently downgrading to the "
+                "scratch loop would be orders of magnitude slower)"
+            )
         self.function = function
         self.model = model
         self.conditional = conditional
-        self._init_caches()
+        self.incremental = bool(incremental)
+        self.lazy = bool(lazy)
+        #: Scalar benefit evaluations spent by the most recent scratch run
+        #: (None before any run and after incremental runs, which score all
+        #: candidates in one vectorized pass instead).
+        self.last_benefit_evaluations: Optional[int] = None
+
+    def reset_cache(self) -> None:
+        """Kept for API compatibility: there is no longer a cross-run cache."""
 
     def _run(
         self,
@@ -646,9 +695,86 @@ class GreedyDep(_DatabaseKeyedCache, ResumableSolver):
         initial_selection: Optional[Sequence[int]] = None,
         record_steps: Optional[List[SelectionStep]] = None,
     ) -> List[int]:
+        if self.incremental:
+            return self._run_incremental(database, budget, initial_selection, record_steps)
+        return self._run_scratch(database, budget, initial_selection, record_steps)
+
+    def _run_incremental(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
+        """Algorithm 1 on the rank-one conditioning engine.
+
+        Per round: one argmax over incrementally maintained benefit/cost
+        ratios, one O(n^2) downdate, one vectorized re-score of *all*
+        candidates (correlations can move any candidate's gain, so there is
+        no neighbour structure to exploit as in the decomposed-EV greedy).
+        A warm start replays the prefix through the engine — k downdates —
+        and continues the identical loop.
+        """
+        n = len(database)
+        costs = database.costs
+        weights = self.function.weights(n)
+        engine = self.model.engine(weights, conditional=self.conditional)
+        self.last_benefit_evaluations = None
+
+        # Empty-set gains double as the single-item safeguard inputs below.
+        standalone_gains = engine.gains()
+        selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
+        for index in selected:
+            engine.condition_on(index)
+        gains = engine.gains() if selected else standalone_gains.copy()
+        feasible = np.ones(n, dtype=bool)
+        if selected:
+            feasible[selected] = False
+        spent = float(costs[selected].sum()) if selected else 0.0
+        ratios = np.where(feasible, gains / costs, -np.inf)
+        while True:
+            pruned = feasible & ((spent + costs) > budget + 1e-9)
+            if pruned.any():
+                feasible &= ~pruned
+                ratios[pruned] = -np.inf
+            if not feasible.any():
+                break
+            best = int(np.argmax(ratios))
+            if record_steps is not None:
+                record_steps.append(SelectionStep(best, float(costs[best]), float(gains[best])))
+            selected.append(best)
+            feasible[best] = False
+            spent += costs[best]
+            engine.condition_on(best)
+            gains = engine.gains()
+            ratios = np.where(feasible, gains / costs, -np.inf)
+
+        # Single-item safeguard (lines 5-8 of Algorithm 1), standalone gains.
+        remaining_mask = np.ones(n, dtype=bool)
+        if selected:
+            remaining_mask[selected] = False
+        remaining_mask &= costs <= budget + 1e-9
+        if remaining_mask.any():
+            best_single = int(np.argmax(np.where(remaining_mask, standalone_gains, -np.inf)))
+            chosen_total = float(standalone_gains[selected].sum()) if selected else 0.0
+            if standalone_gains[best_single] > chosen_total:
+                return [best_single]
+        return selected
+
+    def _run_scratch(
+        self,
+        database: UncertainDatabase,
+        budget: float,
+        initial_selection: Optional[Sequence[int]] = None,
+        record_steps: Optional[List[SelectionStep]] = None,
+    ) -> List[int]:
+        """The original per-candidate Schur-complement loop (reference twin)."""
         weights = self.function.weights(len(database))
         n = len(database)
-        cache = self._cache_for(database)
+        # Per-run cache: bounded by the sets this one selection visits, so a
+        # sweep no longer accumulates every frozenset it ever evaluated.
+        cache: dict = {}
+        evaluations = 0
 
         def variance_after(indices: Tuple[int, ...]) -> float:
             key = frozenset(indices)
@@ -663,14 +789,19 @@ class GreedyDep(_DatabaseKeyedCache, ResumableSolver):
             return cache[key]
 
         def benefit(current: Sequence[int], index: int) -> float:
+            nonlocal evaluations
+            evaluations += 1
             current_tuple = tuple(current)
             return variance_after(current_tuple) - variance_after(current_tuple + (index,))
 
-        return greedy_select(
+        selected = greedy_select(
             database,
             budget,
             benefit,
             adaptive=True,
+            lazy=self.lazy,
             initial_selection=initial_selection,
             record_steps=record_steps,
         )
+        self.last_benefit_evaluations = evaluations
+        return selected

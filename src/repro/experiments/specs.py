@@ -172,14 +172,43 @@ def _figure10(args: argparse.Namespace) -> str:
     arguments=[
         argument("--gamma", type=float, default=0.7),
         argument("--no-opt", action="store_true", help="skip the exhaustive OPT baseline"),
+        argument(
+            "--n",
+            type=int,
+            default=None,
+            help="scale the workload to n URx values (skips OPT/Optimum; default: CDC-firearms)",
+        ),
         _BUDGETS_ARGUMENT,
     ],
 )
 def _figure11(args: argparse.Namespace) -> str:
     result = figures.figure11_dependency(
-        gamma=args.gamma, budget_fractions=args.budgets, include_opt=not args.no_opt
+        gamma=args.gamma,
+        budget_fractions=args.budgets,
+        include_opt=not args.no_opt,
+        n=args.n,
     )
     return _series_report(result)
+
+
+@register_experiment(
+    name="figure11c",
+    description="Dependency-strength ablation at paper scale (gamma grid)",
+    arguments=[
+        argument("--n", type=int, default=2000),
+        argument("--gammas", type=float, nargs="+", default=[0.0, 0.3, 0.5, 0.7, 0.9]),
+        argument("--budget-fraction", type=float, default=0.1),
+    ],
+)
+def _figure11c(args: argparse.Namespace) -> str:
+    rows = figures.figure11c_gamma_grid(
+        n=args.n, gammas=args.gammas, budget_fraction=args.budget_fraction
+    )
+    return format_rows(
+        rows,
+        columns=["gamma", "algorithm", "variance_after_cleaning", "seconds"],
+        title=f"Figure 11c (n={args.n}): dependency-strength ablation",
+    )
 
 
 @register_experiment(

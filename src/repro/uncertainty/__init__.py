@@ -17,6 +17,7 @@ from repro.uncertainty.distributions import (
 from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.database import UncertainDatabase
 from repro.uncertainty.correlation import (
+    ConditionalGaussian,
     GaussianWorldModel,
     decaying_covariance,
     conditional_covariance,
@@ -28,6 +29,7 @@ __all__ = [
     "discretize_normal",
     "UncertainObject",
     "UncertainDatabase",
+    "ConditionalGaussian",
     "GaussianWorldModel",
     "decaying_covariance",
     "conditional_covariance",

@@ -4,10 +4,16 @@ import numpy as np
 import pytest
 
 from repro.uncertainty.correlation import (
+    ConditionalGaussian,
     GaussianWorldModel,
     conditional_covariance,
     decaying_covariance,
 )
+
+
+def _random_psd(rng: np.random.Generator, n: int, jitter: float = 0.5) -> np.ndarray:
+    factor = rng.normal(size=(n, n))
+    return factor @ factor.T + jitter * np.eye(n)
 
 
 class TestDecayingCovariance:
@@ -73,6 +79,331 @@ class TestConditionalCovariance:
         conditional = conditional_covariance(cov, [0, 2])
         marginal = cov[np.ix_([1, 3], [1, 3])]
         assert np.all(np.diag(conditional) <= np.diag(marginal) + 1e-12)
+
+    def test_singular_observed_block(self):
+        """Perfectly correlated observations make Sigma_oo singular; the
+        pseudo-inverse route must still fully explain the third component."""
+        cov = decaying_covariance([2.0, 2.0, 1.0], gamma=1.0)
+        conditional = conditional_covariance(cov, [0, 1])
+        # gamma=1 makes every component a deterministic function of any other.
+        assert conditional == pytest.approx(np.zeros((1, 1)), abs=1e-9)
+
+    def test_singular_observed_block_zero_variance(self):
+        cov = np.diag([0.0, 4.0, 9.0])
+        conditional = conditional_covariance(cov, [0])
+        assert conditional == pytest.approx(np.diag([4.0, 9.0]))
+
+
+class TestConditionalGaussian:
+    """The rank-one incremental engine against the scratch Schur complement."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sequential_conditioning_matches_schur(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        cov = _random_psd(rng, n)
+        order = [int(i) for i in rng.permutation(n)[: rng.integers(1, n)]]
+        engine = ConditionalGaussian(cov)
+        for step, index in enumerate(order):
+            engine.condition_on(index)
+            reference = conditional_covariance(cov, order[: step + 1])
+            assert engine.submatrix() == pytest.approx(reference, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gains_match_per_candidate_schur_benefits(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 12))
+        cov = _random_psd(rng, n)
+        weights = rng.uniform(-2.0, 2.0, n)
+        model = GaussianWorldModel(np.zeros(n), cov)
+        cleaned = [int(i) for i in rng.permutation(n)[: rng.integers(0, n - 1)]]
+        engine = ConditionalGaussian(cov, weights=weights)
+        for index in cleaned:
+            engine.condition_on(index)
+        gains = engine.gains()
+        before = model.post_cleaning_variance(weights, cleaned)
+        for candidate in range(n):
+            if candidate in cleaned:
+                assert gains[candidate] == 0.0
+            else:
+                expected = before - model.post_cleaning_variance(
+                    weights, cleaned + [candidate]
+                )
+                assert gains[candidate] == pytest.approx(expected, abs=1e-9)
+        assert engine.gain_of(0) == pytest.approx(gains[0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_marginal_mode_matches_restriction(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(3, 10))
+        cov = _random_psd(rng, n)
+        weights = rng.uniform(-2.0, 2.0, n)
+        order = [int(i) for i in rng.permutation(n)[: n - 1]]
+        engine = ConditionalGaussian(cov, weights=weights, conditional=False)
+
+        def marginal_variance(cleaned):
+            remaining = [i for i in range(n) if i not in cleaned]
+            w = weights[remaining]
+            return float(w @ cov[np.ix_(remaining, remaining)] @ w)
+
+        for step, index in enumerate(order):
+            cleaned = order[: step + 1]
+            before = marginal_variance(order[:step])
+            gains = engine.gains()
+            assert gains[index] == pytest.approx(
+                before - marginal_variance(cleaned), abs=1e-9
+            )
+            engine.condition_on(index)
+            assert engine.variance() == pytest.approx(marginal_variance(cleaned), abs=1e-9)
+
+    def test_tiny_but_informative_pivot_still_conditions(self):
+        # A component whose variance is globally tiny but fully explains a
+        # large component: the per-component pivot floor must NOT treat it as
+        # degenerate (a peak-relative floor would, and would diverge from the
+        # scratch Schur path by O(1)).
+        cov = np.array([[1e-12, 1e-6], [1e-6, 1.0]])
+        engine = ConditionalGaussian(cov, weights=np.array([0.0, 1.0]))
+        engine.condition_on(0)
+        reference = conditional_covariance(cov, [0])
+        assert engine.submatrix() == pytest.approx(reference, abs=1e-9)
+        assert engine.variance() == pytest.approx(0.0, abs=1e-9)
+
+    def test_shrunk_pivot_above_noise_floor_still_conditions(self):
+        # X_s = Z, X_j = Z + 1e-7 W, X_i = W: after conditioning on s, j's
+        # pivot shrinks to ~1e-14 of its original variance, yet its residual
+        # is exactly W — conditioning on j must still fully explain i.  Only
+        # pivots at cancellation-noise scale (a few ulps) may be skipped.
+        cov = np.array(
+            [
+                [1.0, 1.0, 0.0],  # X_s
+                [1.0, 1.0 + 1e-14, 1e-7],  # X_j
+                [0.0, 1e-7, 1.0],  # X_i
+            ]
+        )
+        engine = ConditionalGaussian(cov, weights=np.array([0.0, 0.0, 1.0]))
+        engine.condition_on(0)
+        engine.condition_on(1)
+        # The exact conditional variance of X_i is 0; cancellation in the
+        # ~1e-14 pivot limits both this path and the scratch pinv path to a
+        # few percent here, so the tolerance is loose by design.
+        assert engine.variance() == pytest.approx(0.0, abs=0.1)
+
+    def test_degenerate_pivot_matches_pseudo_inverse(self):
+        # gamma=1: conditioning on one of the pair drives the other's pivot to
+        # zero; the second conditioning must be a no-op beyond the zeroing,
+        # exactly like the pinv scratch path.
+        cov = decaying_covariance([3.0, 3.0, 1.0], gamma=1.0)
+        engine = ConditionalGaussian(cov, weights=np.ones(3))
+        engine.condition_on(0)
+        assert engine.submatrix() == pytest.approx(
+            conditional_covariance(cov, [0]), abs=1e-9
+        )
+        engine.condition_on(1)
+        assert engine.submatrix() == pytest.approx(
+            conditional_covariance(cov, [0, 1]), abs=1e-9
+        )
+        assert engine.cleaned == [0, 1]
+
+    def test_variance_tracks_post_cleaning_variance(self):
+        rng = np.random.default_rng(9)
+        n = 8
+        cov = _random_psd(rng, n)
+        weights = rng.uniform(-1.0, 1.0, n)
+        model = GaussianWorldModel(np.zeros(n), cov)
+        engine = ConditionalGaussian(cov, weights=weights)
+        cleaned = []
+        for index in (3, 0, 6):
+            engine.condition_on(index)
+            cleaned.append(index)
+            assert engine.variance() == pytest.approx(
+                model.post_cleaning_variance(weights, cleaned), abs=1e-9
+            )
+
+    def test_rejects_double_conditioning(self):
+        engine = ConditionalGaussian(np.eye(3))
+        engine.condition_on(1)
+        with pytest.raises(ValueError):
+            engine.condition_on(1)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            ConditionalGaussian(np.eye(3)).condition_on(3)
+
+    def test_rejects_non_square_and_asymmetric(self):
+        with pytest.raises(ValueError):
+            ConditionalGaussian(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            ConditionalGaussian(np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_requires_weights_for_scoring(self):
+        engine = ConditionalGaussian(np.eye(3))
+        with pytest.raises(ValueError):
+            engine.gains()
+        with pytest.raises(ValueError):
+            engine.variance()
+        engine.set_weights([1.0, 1.0, 1.0])
+        assert engine.variance() == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            engine.set_weights([1.0])
+
+    def test_copy_is_independent(self):
+        cov = decaying_covariance([1.0, 2.0, 3.0], gamma=0.5)
+        engine = ConditionalGaussian(cov, weights=np.ones(3))
+        clone = engine.copy()
+        engine.condition_on(0)
+        assert clone.cleaned == []
+        assert clone.variance() == pytest.approx(
+            float(np.ones(3) @ cov @ np.ones(3))
+        )
+
+    def test_does_not_mutate_input_covariance(self):
+        cov = decaying_covariance([1.0, 2.0], gamma=0.5)
+        original = cov.copy()
+        engine = ConditionalGaussian(cov, weights=np.ones(2))
+        engine.condition_on(0)
+        assert cov == pytest.approx(original)
+
+
+class TestBatchVariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_post_cleaning_variance_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        n = int(rng.integers(2, 10))
+        cov = _random_psd(rng, n)
+        weights = rng.uniform(-2.0, 2.0, n)
+        model = GaussianWorldModel(np.zeros(n), cov)
+        cleaned = [int(i) for i in rng.permutation(n)[: rng.integers(0, n)]]
+        batch = model.post_cleaning_variance_batch(weights, cleaned)
+        for candidate in range(n):
+            expected = model.post_cleaning_variance(
+                weights, sorted(set(cleaned) | {candidate})
+            )
+            assert batch[candidate] == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_surprise_probability_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(2, 10))
+        cov = _random_psd(rng, n)
+        means = rng.uniform(-5.0, 5.0, n)
+        current = rng.uniform(-5.0, 5.0, n)
+        weights = rng.uniform(-2.0, 2.0, n)
+        tau = float(rng.uniform(0.0, 3.0))
+        model = GaussianWorldModel(means, cov)
+        cleaned = [int(i) for i in rng.permutation(n)[: rng.integers(0, n)]]
+        batch = model.surprise_probability_batch(
+            weights, cleaned, tau, current_values=current
+        )
+        for candidate in range(n):
+            expected = model.surprise_probability(
+                weights, sorted(set(cleaned) | {candidate}), tau, current_values=current
+            )
+            assert batch[candidate] == pytest.approx(expected, abs=1e-12)
+
+
+class TestSurpriseDegenerateCases:
+    """Zero-variance / empty / fully-cleaned sets, scratch and batch engines."""
+
+    def test_empty_cleaned_set_is_zero(self):
+        model = GaussianWorldModel.independent([0.0, 0.0], [1.0, 1.0])
+        assert model.surprise_probability([1.0, 1.0], [], threshold_drop=0.0) == 0.0
+
+    def test_zero_variance_cleaned_set_indicator(self):
+        # Cleaning only zero-variance objects: the redraw is deterministic, so
+        # the probability is the indicator of the (certain) mean shift.
+        model = GaussianWorldModel([0.0, 10.0], np.diag([0.0, 4.0]))
+        weights = [1.0, 1.0]
+        # Current value above the (certain) true value: the drop happens a.s.
+        p_drop = model.surprise_probability(
+            weights, [0], threshold_drop=1.0, current_values=[5.0, 10.0]
+        )
+        assert p_drop == 1.0
+        # Current value equal to the true value: no drop can occur.
+        p_no_drop = model.surprise_probability(
+            weights, [0], threshold_drop=1.0, current_values=[0.0, 10.0]
+        )
+        assert p_no_drop == 0.0
+        batch = model.surprise_probability_batch(
+            weights, [0], 1.0, current_values=[5.0, 10.0]
+        )
+        assert batch[0] == 1.0
+
+    def test_fully_cleaned_set_matches_batch(self):
+        rng = np.random.default_rng(17)
+        n = 5
+        cov = _random_psd(rng, n)
+        means = rng.uniform(-5.0, 5.0, n)
+        current = rng.uniform(-5.0, 5.0, n)
+        weights = rng.uniform(-2.0, 2.0, n)
+        model = GaussianWorldModel(means, cov)
+        everything = list(range(n))
+        scalar = model.surprise_probability(
+            weights, everything, 0.5, current_values=current
+        )
+        batch = model.surprise_probability_batch(
+            weights, everything, 0.5, current_values=current
+        )
+        # Extending a fully cleaned set changes nothing: every batch entry is
+        # the fully-cleaned probability itself.
+        assert batch == pytest.approx(np.full(n, scalar), abs=1e-12)
+
+    def test_fully_cleaned_zero_variance_database(self):
+        model = GaussianWorldModel([1.0, 2.0], np.zeros((2, 2)))
+        p = model.surprise_probability(
+            [1.0, 1.0], [0, 1], threshold_drop=0.0, current_values=[4.0, 2.0]
+        )
+        assert p == 1.0  # the certain redraw drops the total from 6 to 3
+        batch = model.surprise_probability_batch(
+            [1.0, 1.0], [0, 1], 0.0, current_values=[4.0, 2.0]
+        )
+        assert batch == pytest.approx(np.ones(2))
+
+    def test_batch_on_singular_covariance(self):
+        # Perfectly correlated pair: the batch path must handle the singular
+        # sub-covariance exactly like the scalar path.
+        cov = decaying_covariance([2.0, 2.0], gamma=1.0)
+        model = GaussianWorldModel([0.0, 0.0], cov)
+        batch = model.surprise_probability_batch([1.0, 1.0], [0], 0.0)
+        scalar = model.surprise_probability([1.0, 1.0], [0, 1], 0.0)
+        assert batch[1] == pytest.approx(scalar, abs=1e-12)
+
+
+class TestCachedSamplingFactor:
+    def test_sample_statistics_match_model(self):
+        cov = decaying_covariance([1.0, 2.0], gamma=0.7)
+        model = GaussianWorldModel([3.0, -1.0], cov)
+        draws = model.sample(np.random.default_rng(0), size=60000)
+        assert draws.mean(axis=0) == pytest.approx([3.0, -1.0], abs=0.05)
+        assert np.cov(draws.T) == pytest.approx(cov, abs=0.08)
+
+    def test_factor_cached_across_calls(self):
+        model = GaussianWorldModel.independent([0.0, 0.0], [1.0, 2.0])
+        rng = np.random.default_rng(1)
+        model.sample(rng)
+        factor = model._sampling_factor
+        assert factor is not None
+        model.sample(rng, size=3)
+        assert model._sampling_factor is factor
+
+    def test_semidefinite_fallback(self):
+        # A perfectly correlated pair has no Cholesky factor; the eigen
+        # fallback must keep samples on the degenerate support.
+        cov = decaying_covariance([2.0, 2.0], gamma=1.0)
+        model = GaussianWorldModel([0.0, 0.0], cov)
+        draws = model.sample(np.random.default_rng(2), size=500)
+        assert draws[:, 0] == pytest.approx(draws[:, 1], abs=1e-9)
+
+    def test_zero_variance_component(self):
+        model = GaussianWorldModel([5.0, 0.0], np.diag([0.0, 4.0]))
+        draws = model.sample(np.random.default_rng(3), size=200)
+        assert np.all(draws[:, 0] == 5.0)
+        assert draws[:, 1].std() == pytest.approx(2.0, abs=0.3)
+
+    def test_fixed_seed_is_reproducible(self):
+        model = GaussianWorldModel.independent([0.0], [1.0])
+        a = model.sample(np.random.default_rng(7), size=5)
+        b = model.sample(np.random.default_rng(7), size=5)
+        assert a == pytest.approx(b)
 
 
 class TestGaussianWorldModel:
