@@ -1,0 +1,34 @@
+# Convenience targets; everything assumes the repo root as cwd.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs docs-strict docs-check lint-docstrings matrix clean-docs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+docs:
+	$(PYTHON) docs/build_docs.py
+
+# Warnings-as-errors build: broken links, missing pages or missing API
+# docstrings fail the build (this is what CI runs).
+docs-strict:
+	$(PYTHON) docs/build_docs.py --strict
+
+# Validate pages and links without writing HTML.
+docs-check:
+	$(PYTHON) docs/build_docs.py --strict --check-only
+
+# D1-style docstring gate over the public API surface (uses ruff when
+# available, otherwise the bundled checker).
+lint-docstrings:
+	$(PYTHON) tools/check_docstrings.py
+
+# The scenario-matrix harness at its default scale.
+matrix:
+	$(PYTHON) -m repro.cli matrix --workloads all \
+		--solvers greedy_minvar,greedy_maxpr,random \
+		--budgets 0.05,0.1,0.2 --n 200 --seed 0
+
+clean-docs:
+	rm -rf docs/_site docs/_mkdocs_site

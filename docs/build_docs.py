@@ -1,0 +1,466 @@
+#!/usr/bin/env python
+"""Build the documentation site with the standard library only.
+
+The docs tree is plain Markdown (``docs/*.md``) plus an auto-generated API
+reference pulled from the package docstrings.  This builder exists so the
+site builds anywhere the library itself runs — no mkdocs/sphinx install
+required (environments with mkdocs can use the committed ``mkdocs.yml``
+instead; both consume the same Markdown sources).
+
+Usage::
+
+    python docs/build_docs.py            # build into docs/_site
+    python docs/build_docs.py --strict   # warnings (broken links, missing
+                                         # pages, empty docstrings) fail the build
+    python docs/build_docs.py --check-only   # validate without writing HTML
+
+What it does:
+
+* renders each Markdown page (headings, fenced code, lists, tables, inline
+  markup) into a small HTML shell with a navigation sidebar;
+* generates one API page per subpackage from ``__all__`` and the live
+  docstrings (``inspect.signature`` for callables), so the reference can
+  never drift from the code;
+* checks every intra-doc link: relative links must point at an existing page
+  (or repo file) and ``#anchors`` must match a real heading slug.  Broken
+  links are warnings; ``--strict`` turns any warning into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import inspect
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: Hand-written pages, in navigation order.
+PAGES: List[Tuple[str, str]] = [
+    ("index.md", "Overview"),
+    ("architecture.md", "Architecture"),
+    ("workloads.md", "Workloads & scenario matrix"),
+    ("notation.md", "Paper-to-code notation map"),
+    ("examples.md", "Examples gallery"),
+]
+
+#: Subpackages documented in the generated API reference.
+API_MODULES = [
+    "repro.uncertainty",
+    "repro.claims",
+    "repro.core",
+    "repro.datasets",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+_warnings: List[str] = []
+
+
+def warn(message: str) -> None:
+    _warnings.append(message)
+    print(f"WARNING: {message}", file=sys.stderr)
+
+
+# --------------------------------------------------------------------------- #
+# Minimal Markdown rendering
+# --------------------------------------------------------------------------- #
+def slugify(text: str) -> str:
+    """GitHub-style heading slug: lowercase, spaces to dashes, strip the rest."""
+    text = re.sub(r"`", "", text.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def render_inline(text: str) -> str:
+    """Inline markup: code spans, links, bold, italics (code spans protected)."""
+    placeholders: List[str] = []
+
+    def stash_code(match: re.Match) -> str:
+        placeholders.append(f"<code>{html.escape(match.group(1))}</code>")
+        return f"\x00{len(placeholders) - 1}\x00"
+
+    text = re.sub(r"`([^`]+)`", stash_code, text)
+    text = html.escape(text, quote=False)
+    text = re.sub(
+        r"\[([^\]]+)\]\(([^)\s]+)\)", lambda m: f'<a href="{m.group(2)}">{m.group(1)}</a>', text
+    )
+    text = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", text)
+    text = re.sub(r"(?<!\*)\*([^*]+)\*(?!\*)", r"<em>\1</em>", text)
+    return re.sub(r"\x00(\d+)\x00", lambda m: placeholders[int(m.group(1))], text)
+
+
+def render_markdown(source: str) -> Tuple[str, List[Tuple[int, str, str]]]:
+    """Render Markdown to HTML; returns (html, [(level, slug, title), ...]).
+
+    Covers the subset the docs tree uses: ATX headings, fenced code blocks,
+    unordered/ordered lists (single level), pipe tables, blockquotes,
+    horizontal rules and paragraphs with inline markup.
+    """
+    lines = source.split("\n")
+    out: List[str] = []
+    headings: List[Tuple[int, str, str]] = []
+    paragraph: List[str] = []
+    list_tag: Optional[str] = None
+    index = 0
+
+    def flush_paragraph() -> None:
+        if paragraph:
+            out.append(f"<p>{render_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+
+    def close_list() -> None:
+        nonlocal list_tag
+        if list_tag:
+            out.append(f"</{list_tag}>")
+            list_tag = None
+
+    while index < len(lines):
+        line = lines[index]
+        stripped = line.strip()
+
+        fence = re.match(r"^```(\w*)\s*$", stripped)
+        if fence:
+            flush_paragraph()
+            close_list()
+            language = fence.group(1)
+            block: List[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                block.append(lines[index])
+                index += 1
+            index += 1  # skip closing fence
+            css = f' class="language-{language}"' if language else ""
+            out.append(f"<pre><code{css}>{html.escape(chr(10).join(block))}</code></pre>")
+            continue
+
+        heading = re.match(r"^(#{1,6})\s+(.*)$", stripped)
+        if heading:
+            flush_paragraph()
+            close_list()
+            level = len(heading.group(1))
+            title = heading.group(2).strip()
+            slug = slugify(title)
+            headings.append((level, slug, title))
+            out.append(f'<h{level} id="{slug}">{render_inline(title)}</h{level}>')
+            index += 1
+            continue
+
+        if stripped.startswith("|") and index + 1 < len(lines) and re.match(
+            r"^\|?[\s:|-]+\|[\s:|-]*$", lines[index + 1].strip()
+        ):
+            flush_paragraph()
+            close_list()
+            header_cells = [c.strip() for c in stripped.strip("|").split("|")]
+            out.append("<table><thead><tr>")
+            out.extend(f"<th>{render_inline(cell)}</th>" for cell in header_cells)
+            out.append("</tr></thead><tbody>")
+            index += 2
+            while index < len(lines) and lines[index].strip().startswith("|"):
+                cells = [c.strip() for c in lines[index].strip().strip("|").split("|")]
+                out.append("<tr>")
+                out.extend(f"<td>{render_inline(cell)}</td>" for cell in cells)
+                out.append("</tr>")
+                index += 1
+            out.append("</tbody></table>")
+            continue
+
+        bullet = re.match(r"^[-*]\s+(.*)$", stripped)
+        ordered = re.match(r"^\d+\.\s+(.*)$", stripped)
+        if bullet or ordered:
+            flush_paragraph()
+            tag = "ul" if bullet else "ol"
+            if list_tag != tag:
+                close_list()
+                out.append(f"<{tag}>")
+                list_tag = tag
+            item = (bullet or ordered).group(1)
+            # Fold indented continuation lines into the item.
+            index += 1
+            while index < len(lines) and re.match(r"^\s{2,}\S", lines[index]) and not re.match(
+                r"^\s*[-*]\s|^\s*\d+\.\s", lines[index]
+            ):
+                item += " " + lines[index].strip()
+                index += 1
+            out.append(f"<li>{render_inline(item)}</li>")
+            continue
+
+        if stripped.startswith(">"):
+            flush_paragraph()
+            close_list()
+            quote: List[str] = []
+            while index < len(lines) and lines[index].strip().startswith(">"):
+                quote.append(lines[index].strip().lstrip("> "))
+                index += 1
+            out.append(f"<blockquote><p>{render_inline(' '.join(quote))}</p></blockquote>")
+            continue
+
+        if re.match(r"^(-{3,}|\*{3,})$", stripped):
+            flush_paragraph()
+            close_list()
+            out.append("<hr/>")
+            index += 1
+            continue
+
+        if not stripped:
+            flush_paragraph()
+            close_list()
+            index += 1
+            continue
+
+        paragraph.append(stripped)
+        index += 1
+
+    flush_paragraph()
+    close_list()
+    return "\n".join(out), headings
+
+
+# --------------------------------------------------------------------------- #
+# API reference generation
+# --------------------------------------------------------------------------- #
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def iter_public_members(cls):
+    """Yield ``(name, doc_target, kind)`` for a class's public members.
+
+    Unwraps classmethod/staticmethod/property down to the function whose
+    docstring counts; ``kind`` is ``"property"`` or ``"method"``.  This is
+    the single definition of "the public member surface" — both the API
+    reference here and the docstring gate (tools/check_docstrings.py) walk
+    it, so the two can never enforce different surfaces.
+    """
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        kind = "method"
+        target = member
+        if isinstance(member, (classmethod, staticmethod)):
+            target = member.__func__
+        elif isinstance(member, property):
+            target = member.fget
+            kind = "property"
+        elif not inspect.isfunction(member):
+            continue
+        if target is None:
+            continue
+        yield name, target, kind
+
+
+def _docstring_block(obj, qualified: str) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        warn(f"api: {qualified} has no docstring")
+        return "<p><em>No docstring.</em></p>"
+    return f"<pre class=\"docstring\">{html.escape(doc)}</pre>"
+
+
+def generate_api_page(module_name: str) -> Tuple[str, List[Tuple[int, str, str]]]:
+    """One API page: every ``__all__`` export of the module, from live docstrings."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    exports = list(getattr(module, "__all__", []))
+    parts: List[str] = []
+    headings: List[Tuple[int, str, str]] = [(1, slugify(module_name), module_name)]
+    parts.append(f'<h1 id="{slugify(module_name)}"><code>{module_name}</code></h1>')
+    parts.append(_docstring_block(module, module_name))
+
+    for name in exports:
+        obj = getattr(module, name, None)
+        if obj is None or inspect.ismodule(obj):
+            continue
+        qualified = f"{module_name}.{name}"
+        slug = slugify(qualified)
+        headings.append((2, slug, qualified))
+        if inspect.isclass(obj):
+            parts.append(
+                f'<h2 id="{slug}">class <code>{name}{_signature_of(obj)}</code></h2>'
+            )
+            parts.append(_docstring_block(obj, qualified))
+            for method_name, target, kind in iter_public_members(obj):
+                method_slug = slugify(f"{qualified}.{method_name}")
+                suffix = "" if kind == "property" else _signature_of(target)
+                parts.append(
+                    f'<h3 id="{method_slug}"><code>{name}.{method_name}{suffix}</code></h3>'
+                )
+                parts.append(_docstring_block(target, f"{qualified}.{method_name}"))
+        elif callable(obj):
+            parts.append(f'<h2 id="{slug}"><code>{name}{_signature_of(obj)}</code></h2>')
+            parts.append(_docstring_block(obj, qualified))
+        else:
+            parts.append(f'<h2 id="{slug}"><code>{name}</code></h2>')
+            parts.append(f"<p>Module-level constant: <code>{html.escape(repr(obj)[:200])}</code></p>")
+    return "\n".join(parts), headings
+
+
+# --------------------------------------------------------------------------- #
+# Site assembly and link checking
+# --------------------------------------------------------------------------- #
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 0;
+       color: #1c1e21; line-height: 1.55; }
+.layout { display: flex; min-height: 100vh; }
+nav { width: 230px; flex-shrink: 0; background: #f6f8fa; padding: 1.2rem;
+      border-right: 1px solid #e1e4e8; }
+nav h2 { font-size: 0.8rem; text-transform: uppercase; color: #57606a; }
+nav ul { list-style: none; padding-left: 0; }
+nav li { margin: 0.3rem 0; }
+main { max-width: 860px; padding: 1.5rem 2.5rem; }
+pre { background: #f6f8fa; padding: 0.8rem; overflow-x: auto;
+      border-radius: 6px; font-size: 0.88rem; }
+pre.docstring { white-space: pre-wrap; border-left: 3px solid #d0d7de; }
+code { background: #f1f3f5; padding: 0.1em 0.3em; border-radius: 4px;
+       font-size: 0.9em; }
+pre code { background: none; padding: 0; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d0d7de; padding: 0.4rem 0.7rem; text-align: left; }
+th { background: #f6f8fa; }
+blockquote { border-left: 4px solid #d0d7de; margin-left: 0;
+             padding-left: 1rem; color: #57606a; }
+a { color: #0969da; text-decoration: none; }
+a:hover { text-decoration: underline; }
+"""
+
+
+def _nav_html(current: str, api_pages: List[Tuple[str, str]]) -> str:
+    def link(target: str, label: str) -> str:
+        depth = current.count("/")
+        prefix = "../" * depth
+        marker = " style=\"font-weight:600\"" if target == current else ""
+        return f'<li><a href="{prefix}{target}"{marker}>{label}</a></li>'
+
+    items = [link(name.replace(".md", ".html"), label) for name, label in PAGES]
+    api_items = [link(target, label) for target, label in api_pages]
+    return (
+        "<nav><h2>Guide</h2><ul>"
+        + "".join(items)
+        + "</ul><h2>API reference</h2><ul>"
+        + "".join(api_items)
+        + "</ul></nav>"
+    )
+
+
+def _page_html(title: str, body: str, nav: str) -> str:
+    return (
+        "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\"/>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body><div class=\"layout\">{nav}<main>{body}</main></div></body></html>"
+    )
+
+
+def check_links(
+    page: str,
+    source: str,
+    anchors_by_page: Dict[str, set],
+) -> None:
+    """Validate every Markdown link on ``page`` (repo files and intra-doc anchors)."""
+    for match in re.finditer(r"\[[^\]]+\]\(([^)\s]+)\)", source):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, anchor = target.partition("#")
+        if not path:
+            if anchor and anchor not in anchors_by_page.get(page, set()):
+                warn(f"{page}: broken same-page anchor '#{anchor}'")
+            continue
+        resolved = (DOCS_DIR / page).parent / path
+        try:
+            relative = resolved.resolve().relative_to(DOCS_DIR.resolve())
+            doc_key = str(relative)
+        except ValueError:
+            doc_key = None
+        if doc_key is not None and doc_key in anchors_by_page:
+            if anchor and anchor not in anchors_by_page[doc_key]:
+                warn(f"{page}: broken anchor '{target}' (no heading '{anchor}' in {doc_key})")
+            continue
+        # Not a doc page: accept links to real files elsewhere in the repo.
+        if resolved.resolve().exists():
+            continue
+        warn(f"{page}: broken link '{target}'")
+
+
+def build(out_dir: Path, check_only: bool = False) -> int:
+    """Build (or just validate) the site; returns the number of warnings."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    _warnings.clear()
+
+    sources: Dict[str, str] = {}
+    rendered: Dict[str, Tuple[str, List[Tuple[int, str, str]]]] = {}
+    for name, _label in PAGES:
+        path = DOCS_DIR / name
+        if not path.exists():
+            warn(f"missing page listed in navigation: {name}")
+            continue
+        sources[name] = path.read_text()
+        rendered[name] = render_markdown(sources[name])
+
+    api_pages: List[Tuple[str, str]] = []
+    for module_name in API_MODULES:
+        key = f"api/{module_name.replace('.', '_')}.md"  # logical key for links
+        body, headings = generate_api_page(module_name)
+        rendered[key] = (body, headings)
+        api_pages.append((key.replace(".md", ".html"), module_name))
+
+    anchors_by_page = {
+        name: {slug for _level, slug, _title in headings}
+        for name, (_body, headings) in rendered.items()
+    }
+    for name, source in sources.items():
+        check_links(name, source, anchors_by_page)
+
+    if not check_only:
+        known_pages = set(rendered)
+
+        def _htmlize_links(match: re.Match) -> str:
+            target = match.group(1)
+            path, _, anchor = target.partition("#")
+            if path in known_pages:
+                suffix = f"#{anchor}" if anchor else ""
+                return f'href="{path[:-3]}.html{suffix}"'
+            return match.group(0)
+
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "api").mkdir(exist_ok=True)
+        for name, (body, headings) in rendered.items():
+            title = headings[0][2] if headings else name
+            nav = _nav_html(name.replace(".md", ".html"), api_pages)
+            # Intra-doc links are authored against the .md sources (so they
+            # work on code hosts too); point them at the built pages here.
+            body = re.sub(r'href="([^"]+\.md(?:#[^"]*)?)"', _htmlize_links, body)
+            target = out_dir / name.replace(".md", ".html")
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(_page_html(title, body, nav))
+        print(f"built {len(rendered)} pages into {out_dir}")
+    return len(_warnings)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=str(DOCS_DIR / "_site"), help="output directory")
+    parser.add_argument(
+        "--strict", action="store_true", help="treat warnings (broken links, missing docstrings) as errors"
+    )
+    parser.add_argument(
+        "--check-only", action="store_true", help="validate pages and links without writing HTML"
+    )
+    args = parser.parse_args(argv)
+    warning_count = build(Path(args.out), check_only=args.check_only)
+    if warning_count:
+        print(f"{warning_count} warning(s)", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

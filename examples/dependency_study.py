@@ -34,7 +34,7 @@ from repro.experiments.reporting import format_rows
 from repro.experiments.workloads import fairness_window_comparison_workload
 
 
-def dependency_part() -> None:
+def dependency_part(fast: bool = False) -> None:
     database = load_cdc_firearms()
     workload = fairness_window_comparison_workload(
         database, width=4, later_window_start=4, max_perturbations=10
@@ -44,7 +44,7 @@ def dependency_part() -> None:
     budget = budget_from_fraction(database, 0.3)
 
     rows = []
-    for gamma in (0.0, 0.3, 0.6, 0.9):
+    for gamma in (0.0, 0.6) if fast else (0.0, 0.3, 0.6, 0.9):
         covariance = decaying_covariance(database.stds, gamma)
         model = GaussianWorldModel(database.current_values, covariance)
 
@@ -123,5 +123,10 @@ def alignment_part() -> None:
 
 
 if __name__ == "__main__":
-    dependency_part()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fast", action="store_true", help="smoke-test mode: smaller gamma grid")
+    args = parser.parse_args()
+    dependency_part(fast=args.fast)
     alignment_part()

@@ -72,9 +72,11 @@ def manual_walkthrough() -> None:
     print(format_rows(result.as_rows()))
 
 
-def paper_scenario() -> None:
+def paper_scenario(fast: bool = False) -> None:
     """The packaged Section 4.3 scenario (seeds searched so a counter hides in old data)."""
-    result = counters_case_study("cdc_firearms", seed=2)
+    result = counters_case_study(
+        "cdc_firearms", seed=2, max_seed_attempts=5 if fast else 50
+    )
     print("\nPackaged case study (counter hidden in an early, expensive-to-clean period):")
     print(format_rows(result.as_rows()))
     print(
@@ -86,5 +88,10 @@ def paper_scenario() -> None:
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fast", action="store_true", help="smoke-test mode: fewer seed attempts")
+    args = parser.parse_args()
     manual_walkthrough()
-    paper_scenario()
+    paper_scenario(fast=args.fast)

@@ -32,7 +32,7 @@ from repro.experiments.reporting import format_series_table
 from repro.experiments.workloads import fairness_window_comparison_workload
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
     database = load_adoptions()
     workload = fairness_window_comparison_workload(
         database, width=4, later_window_start=4, max_perturbations=18, sensibility_rate=1.5
@@ -48,7 +48,7 @@ def main() -> None:
     print(f"  initial variance in fairness: "
           f"{linear_expected_variance(database, weights, []):,.1f}")
 
-    budget_fractions = (0.03, 0.05, 0.1, 0.2, 0.3, 0.5)
+    budget_fractions = (0.05, 0.2) if fast else (0.03, 0.05, 0.1, 0.2, 0.3, 0.5)
     algorithms = {
         "Random": RandomSelector(np.random.default_rng(0)),
         "GreedyNaiveCostBlind": GreedyNaiveCostBlind(bias),
@@ -83,4 +83,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fast", action="store_true", help="smoke-test mode: smaller budget sweep")
+    main(fast=parser.parse_args().fast)

@@ -13,6 +13,7 @@ Examples 1 and 2):
    objectives can disagree.
 
 Run with:  python examples/quickstart.py
+(``--fast`` is accepted for smoke-test uniformity; this example is tiny.)
 """
 
 from __future__ import annotations
@@ -135,4 +136,13 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test mode (accepted for uniformity; this example is already tiny)",
+    )
+    parser.parse_args()
     main()

@@ -34,7 +34,7 @@ from repro.experiments.scenarios import measure_moments, run_in_action_experimen
 from repro.experiments.workloads import uniqueness_workload
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
     database = load_cdc_firearms()
 
     # Gamma: the claim asserts the last two years are "as low as" the median
@@ -56,7 +56,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # Budget sweep: how fast does each algorithm remove the uncertainty?
     # ------------------------------------------------------------------ #
-    budget_fractions = (0.1, 0.2, 0.4, 0.6, 0.8)
+    budget_fractions = (0.2, 0.4) if fast else (0.1, 0.2, 0.4, 0.6, 0.8)
     algorithms = {
         "GreedyNaive": GreedyNaive(measure),
         "GreedyMinVar": GreedyMinVar(measure, calculator=calculator),
@@ -83,7 +83,11 @@ def main() -> None:
     # Effectiveness in action: a specific hidden ground truth.
     # ------------------------------------------------------------------ #
     result = run_in_action_experiment(
-        working, measure, algorithms, budget_fractions=(0.2, 0.4, 0.8), seed=11
+        working,
+        measure,
+        algorithms,
+        budget_fractions=(0.4,) if fast else (0.2, 0.4, 0.8),
+        seed=11,
     )
     print(f"\nHidden true duplicity in this scenario: {result.true_value:.0f}")
     print(
@@ -96,4 +100,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--fast", action="store_true", help="smoke-test mode: smaller sweeps")
+    main(fast=parser.parse_args().fast)

@@ -107,6 +107,14 @@ from repro.experiments import (
     robustness_workload,
     run_budget_sweep,
     figures,
+    ScenarioMatrix,
+)
+from repro.workloads import (
+    WorkloadSpec,
+    register_workload,
+    available_workloads,
+    build_workload,
+    coverage_summary,
 )
 
 __version__ = "1.0.0"
@@ -189,5 +197,12 @@ __all__ = [
     "robustness_workload",
     "run_budget_sweep",
     "figures",
+    "ScenarioMatrix",
+    # workload registry
+    "WorkloadSpec",
+    "register_workload",
+    "available_workloads",
+    "build_workload",
+    "coverage_summary",
     "__version__",
 ]

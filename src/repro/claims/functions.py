@@ -132,10 +132,12 @@ class LinearClaim(ClaimFunction):
 
     @property
     def referenced_indices(self) -> FrozenSet[int]:
+        """Indices of the objects the claim reads (its weight support)."""
         return self._referenced
 
     @property
     def description(self) -> str:
+        """Human-readable claim label."""
         return self._label or f"LinearClaim(|support|={len(self._weights)})"
 
     def evaluate(self, values: Sequence[float]) -> float:
@@ -169,6 +171,7 @@ class LinearClaim(ClaimFunction):
     # Linear claims compose nicely; these helpers keep perturbation and bias
     # construction readable.
     def scaled(self, factor: float) -> "LinearClaim":
+        """The claim with every weight (and intercept) multiplied by ``factor``."""
         return LinearClaim(
             {i: w * factor for i, w in self._weights.items()},
             intercept=self._intercept * factor,
@@ -176,6 +179,7 @@ class LinearClaim(ClaimFunction):
         )
 
     def plus(self, other: "LinearClaim", label: str = "") -> "LinearClaim":
+        """Weight-wise sum of two linear claims."""
         combined = dict(self._weights)
         for index, weight in other._weights.items():
             combined[index] = combined.get(index, 0.0) + weight
@@ -270,10 +274,12 @@ class ThresholdClaim(ClaimFunction):
 
     @property
     def referenced_indices(self) -> FrozenSet[int]:
+        """Indices the underlying claim reads."""
         return self.inner.referenced_indices
 
     @property
     def description(self) -> str:
+        """Human-readable claim label."""
         return self._label or f"1[{self.inner.description} {self.op} {self.threshold:g}]"
 
     def evaluate(self, values: Sequence[float]) -> float:

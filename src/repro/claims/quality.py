@@ -204,10 +204,12 @@ class ClaimQualityMeasure(ClaimFunction):
 
     @property
     def referenced_indices(self) -> FrozenSet[int]:
+        """Union of the indices referenced by any term."""
         return self._referenced
 
     @property
     def description(self) -> str:
+        """Summary naming the measure, its term count and baseline."""
         return f"{self.__class__.__name__}(m={len(self._terms)}, baseline={self.baseline:g})"
 
     def __repr__(self) -> str:

@@ -10,6 +10,7 @@ Examples
     python -m repro.cli figure11 --gamma 0.7
     python -m repro.cli figure12 --repeats 10
     python -m repro.cli counters --dataset cdc_firearms
+    python -m repro.cli matrix --workloads all --solvers greedy_minvar,random
 
 Every subcommand prints the same rows the corresponding paper figure plots.
 

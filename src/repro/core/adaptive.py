@@ -134,6 +134,7 @@ class AdaptiveRun:
 
     @property
     def cleaned_indices(self) -> List[int]:
+        """Indices revealed so far, in cleaning order."""
         return [step.index for step in self.steps]
 
     def __len__(self) -> int:
@@ -460,6 +461,7 @@ class AdaptiveMaxPr(_AdaptivePolicy):
         budget: float,
         oracle: RevealOracle,
     ) -> AdaptiveRun:
+        """Execute the adaptive loop: reveal, update beliefs, re-plan (see class docs)."""
         if not self.incremental:
             return self._run_scratch(database, budget, oracle)
         baseline = float(self.function.evaluate(database.current_values))
@@ -639,6 +641,7 @@ class AdaptiveDep(_AdaptivePolicy):
         budget: float,
         oracle: RevealOracle,
     ) -> AdaptiveRun:
+        """Execute the adaptive loop: reveal, update beliefs, re-plan (see class docs)."""
         if not self.incremental:
             return self._run_scratch(database, budget, oracle)
         n = len(database)
@@ -760,14 +763,17 @@ class AdaptiveTrialsResult:
 
     @property
     def trials(self) -> int:
+        """Number of simulated trials."""
         return len(self.runs)
 
     @property
     def total_costs(self) -> np.ndarray:
+        """Total cleaning cost spent per trial."""
         return np.array([run.total_cost for run in self.runs], dtype=float)
 
     @property
     def final_objectives(self) -> np.ndarray:
+        """Final objective value per trial."""
         return np.array(
             [np.nan if run.final_objective is None else run.final_objective for run in self.runs],
             dtype=float,
@@ -775,6 +781,7 @@ class AdaptiveTrialsResult:
 
     @property
     def mean_cost(self) -> float:
+        """Mean cleaning cost across trials."""
         return float(self.total_costs.mean()) if self.runs else 0.0
 
     @property

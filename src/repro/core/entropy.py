@@ -272,6 +272,7 @@ class GreedyMinEntropy(_DatabaseKeyedCache, ResumableSolver):
         )
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan`."""
         indices = self.select_indices(database, budget)
         objective = expected_entropy(database, self.function, indices)
         return CleaningPlan.from_indices(

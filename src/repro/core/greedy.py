@@ -274,6 +274,7 @@ class RandomSelector(ResumableSolver):
         return selected
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """One fresh random permutation walked until the budget is exhausted."""
         order = [int(i) for i in self.rng.permutation(len(database))]
         return self._walk(order, database.costs, budget)
 

@@ -80,11 +80,13 @@ class OptimumModularMinVar(Solver):
         return solve_knapsack_greedy(values, costs, budget)
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """Exact knapsack selection at the given budget."""
         values = modular_minvar_weights(database, self.function)
         solution = self._solve(values, database.costs, budget)
         return list(solution.selected)
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan` (records the objective)."""
         indices = self.select_indices(database, budget)
         weights = self.function.weights(len(database))
         remaining = linear_expected_variance(database, weights, indices)
@@ -120,11 +122,13 @@ class OptimumModularMaxPr(Solver):
         return solve_knapsack_greedy(values, costs, budget)
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """Exact knapsack selection of the Lemma 3.3 surrogate."""
         values = modular_maxpr_weights(database, self.function)
         solution = self._solve(values, database.costs, budget)
         return list(solution.selected)
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan` (records the objective)."""
         indices = self.select_indices(database, budget)
         objective = None
         if database.all_normal():

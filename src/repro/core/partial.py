@@ -177,6 +177,7 @@ class GreedyPartialMinVar(ResumableSolver):
         )
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan`."""
         indices = self.select_indices(database, budget)
         weights = self.function.weights(len(database))
         objective = partial_linear_expected_variance(database, weights, indices, self.rho)

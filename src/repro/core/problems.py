@@ -51,6 +51,7 @@ class CleaningPlan:
 
     @property
     def selected_set(self) -> FrozenSet[int]:
+        """The selected indices as a frozenset."""
         return frozenset(self.selected)
 
     def __len__(self) -> int:
@@ -61,6 +62,7 @@ class CleaningPlan:
 
     @classmethod
     def empty(cls, algorithm: str = "") -> "CleaningPlan":
+        """A plan that cleans nothing."""
         return cls(selected=(), cost=0.0, objective_value=None, algorithm=algorithm)
 
     @classmethod
@@ -71,6 +73,7 @@ class CleaningPlan:
         objective_value: Optional[float] = None,
         algorithm: str = "",
     ) -> "CleaningPlan":
+        """Build a plan from selected indices, computing the total cost."""
         indices = tuple(int(i) for i in indices)
         cost = float(sum(database[i].cost for i in indices))
         return cls(selected=indices, cost=cost, objective_value=objective_value, algorithm=algorithm)
@@ -90,6 +93,7 @@ class MinVarProblem:
 
     @property
     def n_objects(self) -> int:
+        """Number of objects in the instance."""
         return len(self.database)
 
     def is_feasible(self, indices: Sequence[int]) -> bool:
@@ -98,6 +102,7 @@ class MinVarProblem:
         return cost <= self.budget + 1e-9
 
     def plan(self, indices: Sequence[int], objective_value: Optional[float] = None, algorithm: str = "") -> CleaningPlan:
+        """Wrap a selection in a :class:`CleaningPlan` for this instance."""
         plan = CleaningPlan.from_indices(self.database, indices, objective_value, algorithm)
         if plan.cost > self.budget + 1e-9:
             raise ValueError(
@@ -123,6 +128,7 @@ class MaxPrProblem:
 
     @property
     def n_objects(self) -> int:
+        """Number of objects in the instance."""
         return len(self.database)
 
     @property
@@ -131,10 +137,12 @@ class MaxPrProblem:
         return float(self.query_function.evaluate(self.database.current_values))
 
     def is_feasible(self, indices: Sequence[int]) -> bool:
+        """True when the indices fit the budget (with floating-point slack)."""
         cost = sum(self.database[i].cost for i in set(indices))
         return cost <= self.budget + 1e-9
 
     def plan(self, indices: Sequence[int], objective_value: Optional[float] = None, algorithm: str = "") -> CleaningPlan:
+        """Wrap a selection in a :class:`CleaningPlan` for this instance."""
         plan = CleaningPlan.from_indices(self.database, indices, objective_value, algorithm)
         if plan.cost > self.budget + 1e-9:
             raise ValueError(

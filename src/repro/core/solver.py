@@ -203,9 +203,11 @@ class Solver:
     sweep_with_trace: bool = True
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """Indices of the objects to clean within ``budget`` (the core primitive)."""
         raise NotImplementedError
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan` (records cost and algorithm)."""
         indices = self.select_indices(database, budget)
         return CleaningPlan.from_indices(database, indices, algorithm=self.name)
 
@@ -243,6 +245,7 @@ class ResumableSolver(Solver):
         raise NotImplementedError
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """A from-scratch run of the solver's loop at the given budget."""
         return self._run(database, budget)
 
     def trace(self, database: UncertainDatabase, max_budget: float) -> SelectionTrace:

@@ -104,6 +104,7 @@ class BestSubmodularMinVar(Solver):
         return make_ev_calculator(database, self.function)
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """Best of the iterated greedy bounds at the given budget."""
         n = len(database)
         costs = database.costs
         ev = self._make_ev(database)
@@ -153,6 +154,7 @@ class BestSubmodularMinVar(Solver):
         return sorted(current_clean)
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan` (records the EV)."""
         indices = self.select_indices(database, budget)
         ev = self._make_ev(database)
         return CleaningPlan.from_indices(
@@ -190,6 +192,7 @@ class ExhaustiveMinVar(Solver):
         return make_ev_calculator(database, self.function)
 
     def select_indices(self, database: UncertainDatabase, budget: float) -> List[int]:
+        """Exhaustive search over all affordable subsets."""
         n = len(database)
         if n > self.max_objects:
             raise ValueError(
@@ -211,6 +214,7 @@ class ExhaustiveMinVar(Solver):
         return list(best_set)
 
     def select(self, database: UncertainDatabase, budget: float) -> CleaningPlan:
+        """The selection wrapped in a :class:`CleaningPlan` (records the objective)."""
         indices = self.select_indices(database, budget)
         objective = self._make_objective(database)
         return CleaningPlan.from_indices(

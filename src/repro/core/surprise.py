@@ -301,6 +301,7 @@ class SingletonSurpriseKernel:
 
     @property
     def supported(self) -> bool:
+        """True when a batched singleton path exists for this function/database."""
         return self.mode is not None
 
     def scores(self, tau: float) -> np.ndarray:

@@ -12,13 +12,20 @@ from repro.datasets.synthetic import (
     generate_urx,
     generate_lnx,
     generate_smx,
+    urx_distribution,
+    lnx_distribution,
+    smx_distribution,
     SYNTHETIC_GENERATORS,
+    DISTRIBUTION_FAMILIES,
 )
 from repro.datasets.costs import (
     uniform_costs,
     recency_decaying_costs,
     unit_costs,
     extreme_costs,
+    value_proportional_costs,
+    heavy_tailed_costs,
+    budget_adversarial_costs,
 )
 
 __all__ = [
@@ -33,9 +40,16 @@ __all__ = [
     "generate_urx",
     "generate_lnx",
     "generate_smx",
+    "urx_distribution",
+    "lnx_distribution",
+    "smx_distribution",
     "SYNTHETIC_GENERATORS",
+    "DISTRIBUTION_FAMILIES",
     "uniform_costs",
     "recency_decaying_costs",
     "unit_costs",
     "extreme_costs",
+    "value_proportional_costs",
+    "heavy_tailed_costs",
+    "budget_adversarial_costs",
 ]

@@ -13,7 +13,15 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["uniform_costs", "recency_decaying_costs", "unit_costs", "extreme_costs"]
+__all__ = [
+    "uniform_costs",
+    "recency_decaying_costs",
+    "unit_costs",
+    "extreme_costs",
+    "value_proportional_costs",
+    "heavy_tailed_costs",
+    "budget_adversarial_costs",
+]
 
 
 def uniform_costs(
@@ -59,6 +67,95 @@ def unit_costs(n: int) -> List[float]:
     if n <= 0:
         raise ValueError("n must be positive")
     return [1.0] * n
+
+
+def value_proportional_costs(
+    values: Sequence[float],
+    low: float = 1.0,
+    high: float = 10.0,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.1,
+) -> List[float]:
+    """Costs proportional to the magnitude of each object's current value.
+
+    Big numbers are reported by big surveys, and re-running a big survey is
+    expensive: the cost of object ``i`` scales linearly with ``|values[i]|``,
+    mapped onto ``[low, high]``, with multiplicative jitter of ``±jitter``
+    so ties do not produce degenerate selection orders.  A constant value
+    vector degrades gracefully to mid-range costs.
+    """
+    magnitudes = np.abs(np.asarray(values, dtype=float))
+    if magnitudes.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    spread = magnitudes.max() - magnitudes.min()
+    if spread <= 0:
+        scaled = np.full(magnitudes.shape, 0.5)
+    else:
+        scaled = (magnitudes - magnitudes.min()) / spread
+    costs = low + scaled * (high - low)
+    if jitter > 0:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        costs = costs * rng.uniform(1.0 - jitter, 1.0 + jitter, size=costs.size)
+    return [float(c) for c in np.clip(costs, low * (1.0 - jitter), None)]
+
+
+def heavy_tailed_costs(
+    n: int,
+    rng: np.random.Generator,
+    low: float = 1.0,
+    alpha: float = 1.5,
+    cap: float = 200.0,
+) -> List[float]:
+    """Pareto-tailed costs: most objects are cheap, a few are very expensive.
+
+    ``cost_i = low * (1 + Pareto(alpha))`` capped at ``cap`` — the regime
+    where greedy benefit/cost ratios and the Algorithm-1 single-item
+    safeguard genuinely interact (one expensive object can dominate the
+    budget).  ``alpha`` below 2 gives an infinite-variance tail.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if low <= 0:
+        raise ValueError("low must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    draws = rng.pareto(alpha, size=n)
+    return [float(c) for c in np.clip(low * (1.0 + draws), low, cap)]
+
+
+def budget_adversarial_costs(
+    variances: Sequence[float],
+    low: float = 1.0,
+    high: float = 10.0,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.05,
+) -> List[float]:
+    """Costs that rise with the object's variance rank (adversarial to greedy).
+
+    The most informative objects (largest variance) are exactly the most
+    expensive ones, compressing the benefit/cost ratios that cost-aware
+    greedy strategies exploit; cost-blind baselines blow the budget on a few
+    high-variance objects while cost-aware ones must weigh breadth against
+    depth.  Ranks (not raw variances) are mapped onto ``[low, high]`` so the
+    shape is scale-free, with optional multiplicative jitter.
+    """
+    variances = np.asarray(variances, dtype=float)
+    if variances.size == 0:
+        raise ValueError("variances must be non-empty")
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    order = np.argsort(np.argsort(variances, kind="stable"), kind="stable")
+    if variances.size == 1:
+        scaled = np.array([1.0])
+    else:
+        scaled = order / (variances.size - 1)
+    costs = low + scaled * (high - low)
+    if jitter > 0:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        costs = costs * rng.uniform(1.0 - jitter, 1.0 + jitter, size=costs.size)
+    return [float(c) for c in np.clip(costs, low * (1.0 - jitter), None)]
 
 
 def extreme_costs(

@@ -28,7 +28,16 @@ from repro.uncertainty.database import UncertainDatabase
 from repro.uncertainty.distributions import DiscreteDistribution
 from repro.uncertainty.objects import UncertainObject
 
-__all__ = ["generate_urx", "generate_lnx", "generate_smx", "SYNTHETIC_GENERATORS"]
+__all__ = [
+    "generate_urx",
+    "generate_lnx",
+    "generate_smx",
+    "urx_distribution",
+    "lnx_distribution",
+    "smx_distribution",
+    "SYNTHETIC_GENERATORS",
+    "DISTRIBUTION_FAMILIES",
+]
 
 
 def _support_size(rng: np.random.Generator, max_support: int = 6) -> int:
@@ -76,6 +85,31 @@ def _lognormal_pdf(x: np.ndarray, sigma: float) -> np.ndarray:
     from scipy import stats
 
     return stats.lognorm.pdf(x, s=sigma)
+
+
+def urx_distribution(rng: np.random.Generator, max_support: int = 6) -> DiscreteDistribution:
+    """One URx per-object error model (uniform values, random probabilities)."""
+    return _urx_distribution(rng, max_support)
+
+
+def lnx_distribution(rng: np.random.Generator, max_support: int = 6) -> DiscreteDistribution:
+    """One LNx per-object error model (quantilized log-normal, skewed unimodal)."""
+    return _lnx_distribution(rng, max_support)
+
+
+def smx_distribution(rng: np.random.Generator, max_support: int = 6) -> DiscreteDistribution:
+    """One SMx per-object error model (multimodal low/high probability weights)."""
+    return _smx_distribution(rng, max_support)
+
+
+#: Per-object discrete error-model factories, keyed by family name.  Workload
+#: generators compose these with cost models and correlation regimes; the
+#: whole-database generators above are the uniform-cost specializations.
+DISTRIBUTION_FAMILIES = {
+    "URx": urx_distribution,
+    "LNx": lnx_distribution,
+    "SMx": smx_distribution,
+}
 
 
 def _generate(

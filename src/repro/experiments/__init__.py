@@ -41,6 +41,14 @@ from repro.experiments.persistence import (
 )
 from repro.experiments import figures
 from repro.experiments import specs  # populates the experiment registry
+from repro.experiments import matrix  # registers the scenario-matrix experiment
+from repro.experiments.matrix import (
+    MatrixCell,
+    MatrixResult,
+    ScenarioMatrix,
+    SOLVER_BUILDERS,
+    cell_seed,
+)
 
 __all__ = [
     "Workload",
@@ -76,4 +84,9 @@ __all__ = [
     "write_sweep_csv",
     "read_rows_csv",
     "figures",
+    "MatrixCell",
+    "MatrixResult",
+    "ScenarioMatrix",
+    "SOLVER_BUILDERS",
+    "cell_seed",
 ]

@@ -35,6 +35,7 @@ class TimingResult:
     n_objects: int
 
     def as_rows(self) -> List[dict]:
+        """Tidy rows (one per measured point) for reporting."""
         return [
             {
                 "n_objects": self.n_objects,

@@ -48,6 +48,7 @@ class Argument:
     kwargs: Mapping[str, Any] = field(default_factory=dict)
 
     def add_to(self, parser: argparse.ArgumentParser) -> None:
+        """Add this argument to an argparse parser."""
         parser.add_argument(self.flag, **dict(self.kwargs))
 
 
@@ -66,6 +67,7 @@ class ExperimentSpec:
     arguments: Tuple[Argument, ...] = ()
 
     def configure_parser(self, parser: argparse.ArgumentParser) -> None:
+        """Install the experiment's arguments on its subparser."""
         for arg in self.arguments:
             arg.add_to(parser)
 

@@ -61,6 +61,7 @@ class InActionResult:
     true_value: float
 
     def as_rows(self) -> List[dict]:
+        """Tidy rows (one per algorithm x budget) for reporting."""
         rows = []
         for algorithm in self.means:
             for fraction, mean, std in zip(
@@ -131,6 +132,7 @@ class CounterDiscoveryResult:
     counter_exists_in_truth: bool
 
     def as_rows(self) -> List[dict]:
+        """Tidy rows (one per algorithm) for reporting."""
         return [
             {
                 "algorithm": name,
@@ -198,6 +200,7 @@ class CompetingObjectivesResult:
     counter_probability: Dict[str, List[float]]
 
     def as_rows(self) -> List[dict]:
+        """Tidy rows (one per algorithm x budget x objective) for reporting."""
         rows = []
         for algorithm in self.expected_variance:
             for fraction, variance, probability in zip(

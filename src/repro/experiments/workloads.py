@@ -23,6 +23,7 @@ from repro.claims.perturbations import (
 )
 from repro.claims.quality import Bias, Duplicity, Fragility
 from repro.claims.strength import lower_is_stronger, subtraction_strength
+from repro.uncertainty.correlation import GaussianWorldModel
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -43,12 +44,35 @@ class Workload:
     ``query_function`` is the MinVar/MaxPr query function ``f``;
     ``perturbations`` is the underlying perturbation set; ``description``
     says which paper experiment the workload corresponds to.
+
+    The registry layer (:mod:`repro.workloads`) fills the optional fields:
+    ``name`` is the registered spec name; ``world_model`` carries the injected
+    correlated error model for dependency workloads (``None`` means
+    independent errors); ``maxpr_function`` is a *linear* surrogate of the
+    query function for MaxPr-style solvers when ``query_function`` itself is
+    non-linear (e.g. the bias over the same perturbation set standing in for
+    a duplicity measure — the Section 4.3 pattern).
     """
 
     database: UncertainDatabase
     query_function: ClaimFunction
     perturbations: PerturbationSet
     description: str = ""
+    name: str = ""
+    world_model: Optional[GaussianWorldModel] = None
+    maxpr_function: Optional[ClaimFunction] = None
+
+    def linear_function(self) -> Optional[ClaimFunction]:
+        """The best linear handle on this workload, or ``None``.
+
+        The query function itself when linear, otherwise the registered
+        linear surrogate (``maxpr_function``).  Dependency-aware and
+        MaxPr-style solvers, which need an explicit weight vector, go through
+        this accessor.
+        """
+        if self.query_function.is_linear():
+            return self.query_function
+        return self.maxpr_function
 
 
 def fairness_window_comparison_workload(

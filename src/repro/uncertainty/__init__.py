@@ -20,6 +20,8 @@ from repro.uncertainty.correlation import (
     ConditionalGaussian,
     GaussianWorldModel,
     decaying_covariance,
+    block_covariance,
+    banded_covariance,
     conditional_covariance,
 )
 
@@ -32,5 +34,7 @@ __all__ = [
     "ConditionalGaussian",
     "GaussianWorldModel",
     "decaying_covariance",
+    "block_covariance",
+    "banded_covariance",
     "conditional_covariance",
 ]

@@ -37,6 +37,8 @@ from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
     "decaying_covariance",
+    "block_covariance",
+    "banded_covariance",
     "conditional_covariance",
     "ConditionalGaussian",
     "GaussianWorldModel",
@@ -59,6 +61,66 @@ def decaying_covariance(stds: Sequence[float], gamma: float) -> np.ndarray:
     lags = np.abs(np.subtract.outer(np.arange(n), np.arange(n)))
     decay = np.where(lags == 0, 1.0, gamma**lags)
     return decay * np.outer(stds, stds)
+
+
+def block_covariance(
+    stds: Sequence[float], block_size: int, rho: float
+) -> np.ndarray:
+    """Covariance with constant correlation ``rho`` inside consecutive blocks.
+
+    Objects are grouped into consecutive blocks of ``block_size`` (the last
+    block may be shorter); within a block every pair has correlation ``rho``,
+    across blocks the errors are independent.  This models batched acquisition
+    (one source per block, e.g. one agency reporting several years at once).
+    Positive semi-definite for every ``rho`` in ``[0, 1]``: each block is
+    ``(1 - rho) I + rho 1 1^T`` scaled by the stds.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError("rho must be in [0, 1]")
+    stds = np.asarray(stds, dtype=float)
+    if np.any(stds < 0):
+        raise ValueError("standard deviations must be nonnegative")
+    n = stds.size
+    blocks = np.arange(n) // block_size
+    same_block = blocks[:, None] == blocks[None, :]
+    eye = np.eye(n, dtype=bool)
+    correlation = np.where(eye, 1.0, np.where(same_block, rho, 0.0))
+    return correlation * np.outer(stds, stds)
+
+
+def banded_covariance(
+    stds: Sequence[float], bandwidth: int, rho: float = 1.0
+) -> np.ndarray:
+    """Banded covariance from a moving-average construction (PSD by design).
+
+    Naively truncating a decaying covariance beyond some lag breaks positive
+    semi-definiteness; instead each error is modelled as a one-sided moving
+    average of the ``bandwidth + 1`` most recent i.i.d. shocks, with older
+    shocks damped by ``rho`` per lag.  Components ``i`` and ``j`` then share
+    shocks exactly when ``|i - j| <= bandwidth``, so the covariance is
+    exactly zero beyond that lag, PSD by construction
+    (``Sigma = D A A^T D``), and its diagonal is rescaled so component ``i``
+    has variance ``stds[i]**2``.  ``bandwidth = 0`` recovers independence.
+    """
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be nonnegative")
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError("rho must be in [0, 1]")
+    stds = np.asarray(stds, dtype=float)
+    if np.any(stds < 0):
+        raise ValueError("standard deviations must be nonnegative")
+    n = stds.size
+    # A[i, k] = damping of shock k in component i, causal: component i mixes
+    # shocks k in [i - bandwidth, i] only, so (A A^T)_{ij} needs a shared
+    # shock and vanishes beyond lag `bandwidth`.
+    lags = np.subtract.outer(np.arange(n), np.arange(n))
+    damping = np.where((lags >= 0) & (lags <= bandwidth), rho ** np.abs(lags), 0.0)
+    correlation = damping @ damping.T
+    norms = np.sqrt(np.diagonal(correlation))
+    correlation = correlation / np.outer(norms, norms)
+    return correlation * np.outer(stds, stds)
 
 
 def conditional_covariance(
@@ -169,10 +231,12 @@ class ConditionalGaussian:
     # ------------------------------------------------------------------ #
     @property
     def size(self) -> int:
+        """Number of components of the underlying Gaussian."""
         return self._n
 
     @property
     def conditional(self) -> bool:
+        """True in conditional (Schur) mode, False in marginal mode."""
         return self._conditional
 
     @property
@@ -352,6 +416,7 @@ class GaussianWorldModel:
 
     @property
     def size(self) -> int:
+        """Number of components of the model."""
         return int(self.means.size)
 
     def engine(

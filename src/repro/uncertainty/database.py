@@ -197,10 +197,12 @@ class UncertainDatabase:
 
     @property
     def objects(self) -> List[UncertainObject]:
+        """The objects as a fresh list (overlays materialize lazily here)."""
         return list(self._objects)
 
     @property
     def names(self) -> List[str]:
+        """Object names in positional order."""
         return [obj.name for obj in self._objects]
 
     def index_of(self, name: str) -> int:
@@ -208,6 +210,7 @@ class UncertainDatabase:
         return self._index_by_name[name]
 
     def indices_of(self, names: Iterable[str]) -> List[int]:
+        """Positions of the objects with the given names, in input order."""
         return [self._index_by_name[name] for name in names]
 
     # ------------------------------------------------------------------ #
@@ -230,6 +233,7 @@ class UncertainDatabase:
 
     @property
     def stds(self) -> np.ndarray:
+        """Per-object standard deviations (read-only view)."""
         return self._stds
 
     @property

@@ -145,18 +145,22 @@ class DiscreteDistribution:
 
     @property
     def support_size(self) -> int:
+        """Number of support values."""
         return int(self._values.size)
 
     @property
     def mean(self) -> float:
+        """Mean of the distribution."""
         return self._mean
 
     @property
     def variance(self) -> float:
+        """Variance of the distribution."""
         return self._variance
 
     @property
     def std(self) -> float:
+        """Standard deviation of the distribution."""
         return math.sqrt(self._variance)
 
     def is_certain(self) -> bool:
@@ -246,6 +250,7 @@ class NormalSpec:
 
     @property
     def variance(self) -> float:
+        """Variance ``std**2`` of the normal model."""
         return self.std**2
 
     def prob_less_than(self, threshold: float) -> float:
@@ -255,6 +260,7 @@ class NormalSpec:
         return float(stats.norm.cdf(threshold, loc=self.mean, scale=self.std))
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one value (or ``size`` values) from the normal model."""
         draws = rng.normal(self.mean, self.std, size=size)
         if size is None:
             return float(draws)

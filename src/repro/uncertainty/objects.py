@@ -71,6 +71,7 @@ class UncertainObject:
 
     @property
     def std(self) -> float:
+        """Standard deviation of the true-value distribution."""
         return float(np.sqrt(self.variance))
 
     @property

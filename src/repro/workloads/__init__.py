@@ -1,0 +1,52 @@
+"""Workload registry: declarative scenario specs and their generator families.
+
+The counterpart of the solver and experiment registries for the *scenario*
+axis: a :class:`~repro.workloads.spec.WorkloadSpec` names one combination of
+error-model family, cost model, correlation regime and claim shape, and
+builds a ready-to-run :class:`~repro.experiments.workloads.Workload` at any
+size and seed.  Importing this package registers the full catalog
+(:mod:`repro.workloads.catalog`): the four paper workloads on their canonical
+datasets plus generated scenarios spanning every axis value.  The scenario
+matrix (:mod:`repro.experiments.matrix`) crosses these specs with registered
+solvers and budget grids.
+"""
+
+from repro.workloads.spec import (
+    WorkloadSpec,
+    register_workload,
+    get_workload_spec,
+    available_workloads,
+    build_workload,
+    coverage_summary,
+)
+from repro.workloads.generators import (
+    COST_MODELS,
+    DISTRIBUTION_KINDS,
+    CORRELATION_REGIMES,
+    make_costs,
+    make_database,
+    make_world_model,
+    median_window_sum,
+    share_of_recent_workload,
+)
+from repro.workloads import catalog  # populates the workload registry
+from repro.workloads.catalog import DEFAULT_N
+
+__all__ = [
+    "WorkloadSpec",
+    "register_workload",
+    "get_workload_spec",
+    "available_workloads",
+    "build_workload",
+    "coverage_summary",
+    "COST_MODELS",
+    "DISTRIBUTION_KINDS",
+    "CORRELATION_REGIMES",
+    "make_costs",
+    "make_database",
+    "make_world_model",
+    "median_window_sum",
+    "share_of_recent_workload",
+    "DEFAULT_N",
+    "catalog",
+]

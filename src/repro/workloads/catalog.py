@@ -1,0 +1,298 @@
+"""The registered workload catalog: paper workloads plus generated scenario families.
+
+Importing this module populates the workload registry (the same pattern as
+:mod:`repro.experiments.specs` for the experiment registry).  Two groups:
+
+* the four hand-built paper workloads, re-registered on the spec protocol
+  with their canonical datasets (``scales_with_n = False`` — the Adoptions
+  and CDC timelines have fixed sizes);
+* parameterized generated scenarios crossing the axes of
+  :mod:`repro.workloads.generators`: five distribution families x six cost
+  models x four correlation regimes x three claim shapes (each spec picks one
+  point of the cross; together they span every axis value).
+
+Non-linear workloads (duplicity / fragility measures) also carry a linear
+MaxPr surrogate — the bias over the same perturbation set, the Section 4.3
+pattern — so MaxPr-style and dependency-aware solvers have an explicit
+weight vector to work with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.claims.quality import Bias
+from repro.datasets.adoptions import load_adoptions
+from repro.datasets.cdc import load_cdc_causes, load_cdc_firearms
+from repro.experiments.workloads import (
+    Workload,
+    cdc_causes_share_workload,
+    fairness_window_comparison_workload,
+    robustness_workload,
+    uniqueness_workload,
+)
+from repro.workloads.generators import (
+    make_database,
+    make_world_model,
+    median_window_sum,
+    share_of_recent_workload,
+)
+from repro.workloads.spec import register_workload
+
+__all__ = ["DEFAULT_N"]
+
+#: Size used when a scalable spec is built without an explicit ``n``.
+DEFAULT_N = 60
+
+
+def _size(n: Optional[int]) -> int:
+    return int(n) if n else DEFAULT_N
+
+
+def _attach_maxpr_surrogate(workload: Workload) -> Workload:
+    """Give a non-linear workload its linear MaxPr surrogate (the bias)."""
+    workload.maxpr_function = Bias(
+        workload.perturbations, workload.database.current_values
+    )
+    return workload
+
+
+# --------------------------------------------------------------------------- #
+# The four paper workloads, re-registered on the spec protocol
+# --------------------------------------------------------------------------- #
+@register_workload(
+    name="paper_fairness_adoptions",
+    description="Giuliani adoptions window-comparison fairness claim (Figure 1a)",
+    family="normal",
+    cost_model="uniform",
+    correlation="independent",
+    claim_shape="window_comparison",
+    scales_with_n=False,
+    paper_figure="Figure 1a",
+)
+def _paper_fairness_adoptions(seed: int = 0) -> Workload:
+    return fairness_window_comparison_workload(
+        load_adoptions(), width=4, later_window_start=4, max_perturbations=18
+    )
+
+
+@register_workload(
+    name="paper_fairness_cdc_causes",
+    description="CDC-causes 'share of all other causes' fairness claim (Figure 1d)",
+    family="normal",
+    cost_model="recency",
+    correlation="independent",
+    claim_shape="linear_aggregate",
+    scales_with_n=False,
+    paper_figure="Figure 1d",
+)
+def _paper_fairness_cdc_causes(seed: int = 0) -> Workload:
+    return cdc_causes_share_workload(load_cdc_causes())
+
+
+@register_workload(
+    name="paper_uniqueness_cdc_firearms",
+    description="CDC-firearms 'as low as Gamma' uniqueness claim (Figure 2a)",
+    family="normal",
+    cost_model="recency",
+    correlation="independent",
+    claim_shape="window_threshold",
+    scales_with_n=False,
+    paper_figure="Figure 2a",
+)
+def _paper_uniqueness_cdc_firearms(seed: int = 0) -> Workload:
+    database = load_cdc_firearms()
+    gamma = median_window_sum(database, 2)
+    return _attach_maxpr_surrogate(
+        uniqueness_workload(database, window_width=2, gamma=gamma, discretize_points=6)
+    )
+
+
+@register_workload(
+    name="paper_robustness_cdc_firearms",
+    description="CDC-firearms 'as high as Gamma' robustness claim (Figure 7a)",
+    family="normal",
+    cost_model="recency",
+    correlation="independent",
+    claim_shape="window_threshold",
+    scales_with_n=False,
+    paper_figure="Figure 7a",
+)
+def _paper_robustness_cdc_firearms(seed: int = 0) -> Workload:
+    database = load_cdc_firearms()
+    gamma = median_window_sum(database, 2)
+    return _attach_maxpr_surrogate(
+        robustness_workload(database, window_width=2, gamma=gamma, discretize_points=6)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Generated scenarios: discrete families x cost models (independent errors)
+# --------------------------------------------------------------------------- #
+@register_workload(
+    name="fairness_urx_uniform",
+    description="window-comparison fairness on a URx timeline, uniform costs",
+    family="discrete_uniform",
+    cost_model="uniform",
+    correlation="independent",
+    claim_shape="window_comparison",
+)
+def _fairness_urx_uniform(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(_size(n), seed, distribution="urx", cost_model="uniform")
+    return fairness_window_comparison_workload(database, width=4, later_window_start=4)
+
+
+@register_workload(
+    name="fairness_smx_unit",
+    description="window-comparison fairness on a multimodal SMx timeline, unit costs",
+    family="discrete_multimodal",
+    cost_model="unit",
+    correlation="independent",
+    claim_shape="window_comparison",
+)
+def _fairness_smx_unit(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(_size(n), seed, distribution="smx", cost_model="unit")
+    return fairness_window_comparison_workload(database, width=4, later_window_start=4)
+
+
+@register_workload(
+    name="uniqueness_lnx_heavy",
+    description="'as low as Gamma' uniqueness on a skewed LNx timeline, Pareto-tailed costs",
+    family="discrete_lognormal",
+    cost_model="heavy_tailed",
+    correlation="independent",
+    claim_shape="window_threshold",
+)
+def _uniqueness_lnx_heavy(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(_size(n), seed, distribution="lnx", cost_model="heavy_tailed")
+    gamma = median_window_sum(database, 4)
+    return _attach_maxpr_surrogate(
+        uniqueness_workload(database, window_width=4, gamma=gamma)
+    )
+
+
+@register_workload(
+    name="uniqueness_smx_adversarial",
+    description="uniqueness on a multimodal SMx timeline with variance-rank (adversarial) costs",
+    family="discrete_multimodal",
+    cost_model="budget_adversarial",
+    correlation="independent",
+    claim_shape="window_threshold",
+)
+def _uniqueness_smx_adversarial(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(
+        _size(n), seed, distribution="smx", cost_model="budget_adversarial"
+    )
+    gamma = median_window_sum(database, 4)
+    return _attach_maxpr_surrogate(
+        uniqueness_workload(database, window_width=4, gamma=gamma)
+    )
+
+
+@register_workload(
+    name="robustness_urx_valueprop",
+    description="'as high as Gamma' robustness on a URx timeline, value-proportional costs",
+    family="discrete_uniform",
+    cost_model="value_proportional",
+    correlation="independent",
+    claim_shape="window_threshold",
+)
+def _robustness_urx_valueprop(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(
+        _size(n), seed, distribution="urx", cost_model="value_proportional"
+    )
+    gamma = median_window_sum(database, 4)
+    return _attach_maxpr_surrogate(
+        robustness_workload(database, window_width=4, gamma=gamma)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Generated scenarios: mixed error models
+# --------------------------------------------------------------------------- #
+@register_workload(
+    name="uniqueness_mixed_uniform",
+    description="uniqueness over interleaved normal/discrete error models, uniform costs",
+    family="mixed",
+    cost_model="uniform",
+    correlation="independent",
+    claim_shape="window_threshold",
+)
+def _uniqueness_mixed_uniform(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(_size(n), seed, distribution="mixed", cost_model="uniform")
+    gamma = median_window_sum(database, 4)
+    return _attach_maxpr_surrogate(
+        uniqueness_workload(database, window_width=4, gamma=gamma)
+    )
+
+
+@register_workload(
+    name="share_mixed_heavy",
+    description="'recent share of the total' fairness over mixed error models, Pareto costs",
+    family="mixed",
+    cost_model="heavy_tailed",
+    correlation="independent",
+    claim_shape="linear_aggregate",
+)
+def _share_mixed_heavy(n: Optional[int] = None, seed: int = 0) -> Workload:
+    database = make_database(_size(n), seed, distribution="mixed", cost_model="heavy_tailed")
+    return share_of_recent_workload(database, period=4, share=0.25)
+
+
+# --------------------------------------------------------------------------- #
+# Generated scenarios: correlated (multivariate normal) error models
+# --------------------------------------------------------------------------- #
+@register_workload(
+    name="fairness_normal_chain",
+    description="window-comparison fairness with chain-decaying error correlation",
+    family="normal",
+    cost_model="uniform",
+    correlation="chain",
+    claim_shape="window_comparison",
+    defaults={"rho": 0.7},
+)
+def _fairness_normal_chain(n: Optional[int] = None, seed: int = 0, rho: float = 0.7) -> Workload:
+    database = make_database(_size(n), seed, distribution="normal", cost_model="uniform")
+    workload = fairness_window_comparison_workload(database, width=4, later_window_start=4)
+    workload.world_model = make_world_model(database, "chain", rho=rho)
+    return workload
+
+
+@register_workload(
+    name="fairness_normal_block",
+    description="window-comparison fairness with block-correlated errors, value-proportional costs",
+    family="normal",
+    cost_model="value_proportional",
+    correlation="block",
+    claim_shape="window_comparison",
+    defaults={"rho": 0.6, "block_size": 8},
+)
+def _fairness_normal_block(
+    n: Optional[int] = None, seed: int = 0, rho: float = 0.6, block_size: int = 8
+) -> Workload:
+    database = make_database(
+        _size(n), seed, distribution="normal", cost_model="value_proportional"
+    )
+    workload = fairness_window_comparison_workload(database, width=4, later_window_start=4)
+    workload.world_model = make_world_model(database, "block", rho=rho, block_size=block_size)
+    return workload
+
+
+@register_workload(
+    name="share_normal_banded",
+    description="'recent share' fairness with banded (moving-average) correlation, recency costs",
+    family="normal",
+    cost_model="recency",
+    correlation="banded",
+    claim_shape="linear_aggregate",
+    defaults={"rho": 0.9, "bandwidth": 4},
+)
+def _share_normal_banded(
+    n: Optional[int] = None, seed: int = 0, rho: float = 0.9, bandwidth: int = 4
+) -> Workload:
+    database = make_database(_size(n), seed, distribution="normal", cost_model="recency")
+    workload = share_of_recent_workload(database, period=4, share=0.25)
+    workload.world_model = make_world_model(
+        database, "banded", rho=rho, bandwidth=bandwidth
+    )
+    return workload

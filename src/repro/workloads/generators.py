@@ -1,0 +1,292 @@
+"""Parameterized generator families the workload catalog is composed from.
+
+Three orthogonal axes, each a small dispatcher:
+
+* **distribution kinds** (:func:`make_database`) — the discrete paper
+  families (URx / LNx / SMx per-object error models), all-normal timelines,
+  and mixed databases interleaving normal and discrete error models;
+* **cost models** (:func:`make_costs`) — uniform, unit, recency-decaying,
+  value-proportional, heavy-tailed (Pareto) and budget-adversarial
+  (cost rises with variance rank), built on :mod:`repro.datasets.costs`;
+* **correlation regimes** (:func:`make_world_model`) — independent, chain
+  (geometrically decaying), block-constant and banded (moving-average)
+  covariances over an all-normal database, wrapped in a
+  :class:`~repro.uncertainty.correlation.GaussianWorldModel`.
+
+On top sits one new claim shape, :func:`share_of_recent_workload` — the
+generalization of the CDC-causes "share of all other causes" claim to an
+arbitrary timeline — plus :func:`median_window_sum`, the Gamma heuristic the
+figures use (mid-range thresholds are where the uncertainty, and hence the
+algorithm differences, are largest).
+
+Everything takes an explicit seed and derives all randomness from one
+``np.random.default_rng(seed)`` stream, so a (name, n, seed) triple pins the
+workload exactly — the determinism the scenario matrix asserts in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction, LinearClaim
+from repro.claims.perturbations import PerturbationSet, exponential_sensibility
+from repro.claims.quality import Bias
+from repro.datasets.costs import (
+    budget_adversarial_costs,
+    heavy_tailed_costs,
+    recency_decaying_costs,
+    uniform_costs,
+    unit_costs,
+    value_proportional_costs,
+)
+from repro.datasets.synthetic import DISTRIBUTION_FAMILIES
+from repro.experiments.workloads import Workload
+from repro.uncertainty.correlation import (
+    GaussianWorldModel,
+    banded_covariance,
+    block_covariance,
+    decaying_covariance,
+)
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import DiscreteDistribution, NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = [
+    "COST_MODELS",
+    "DISTRIBUTION_KINDS",
+    "CORRELATION_REGIMES",
+    "make_costs",
+    "make_database",
+    "make_world_model",
+    "median_window_sum",
+    "share_of_recent_workload",
+]
+
+#: Cost-model names :func:`make_costs` accepts.
+COST_MODELS = (
+    "uniform",
+    "unit",
+    "recency",
+    "value_proportional",
+    "heavy_tailed",
+    "budget_adversarial",
+)
+
+#: Distribution-kind names :func:`make_database` accepts.
+DISTRIBUTION_KINDS = ("urx", "lnx", "smx", "normal", "mixed")
+
+#: Correlation-regime names :func:`make_world_model` accepts.
+CORRELATION_REGIMES = ("independent", "chain", "block", "banded")
+
+
+def make_costs(
+    cost_model: str,
+    rng: np.random.Generator,
+    current_values: Sequence[float],
+    variances: Sequence[float],
+) -> List[float]:
+    """Cleaning costs for one database under the named cost model.
+
+    ``current_values`` and ``variances`` are the already-generated per-object
+    statistics — the value-proportional and budget-adversarial models price
+    objects off them; the others ignore them.
+    """
+    n = len(current_values)
+    if cost_model == "uniform":
+        return uniform_costs(n, 1.0, 10.0, rng)
+    if cost_model == "unit":
+        return unit_costs(n)
+    if cost_model == "recency":
+        # Scale the oldest band with n so the budget fractions the matrix
+        # sweeps mean comparable selection depths across dataset sizes.
+        band = max(5.0, 100.0 / max(n, 1))
+        return recency_decaying_costs(
+            n, oldest_band=(band * (n - 0.5), band * n + band), band_width=band, rng=rng
+        )
+    if cost_model == "value_proportional":
+        return value_proportional_costs(current_values, rng=rng)
+    if cost_model == "heavy_tailed":
+        return heavy_tailed_costs(n, rng)
+    if cost_model == "budget_adversarial":
+        return budget_adversarial_costs(variances, rng=rng)
+    raise ValueError(f"unknown cost model {cost_model!r}; known: {COST_MODELS}")
+
+
+def _normal_marginal(rng: np.random.Generator) -> NormalSpec:
+    """One normal error model on the synthetic value scale (values ~ [1, 100])."""
+    mean = float(rng.uniform(20.0, 100.0))
+    std = float(rng.uniform(2.0, 12.0))
+    return NormalSpec(mean=mean, std=std)
+
+
+def make_database(
+    n: int,
+    seed: int,
+    distribution: str = "urx",
+    cost_model: str = "uniform",
+    max_support: int = 6,
+    prefix: Optional[str] = None,
+) -> UncertainDatabase:
+    """A synthetic uncertain database crossing a distribution kind with a cost model.
+
+    ``distribution`` is one of :data:`DISTRIBUTION_KINDS`: the three discrete
+    paper families (per-object error models from
+    :data:`repro.datasets.synthetic.DISTRIBUTION_FAMILIES`), ``normal``
+    (normal error models centered at the current reported value, the shape of
+    the Adoptions/CDC datasets), or ``mixed`` (even positions normal, odd
+    positions URx-discrete — the regime where no single closed form applies).
+    Current values are drawn from each object's own error model; all
+    randomness comes from one ``default_rng(seed)`` stream.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if distribution not in DISTRIBUTION_KINDS:
+        raise ValueError(
+            f"unknown distribution kind {distribution!r}; known: {DISTRIBUTION_KINDS}"
+        )
+    rng = np.random.default_rng(seed)
+    prefix = prefix if prefix is not None else distribution
+
+    discrete_factories = {
+        "urx": DISTRIBUTION_FAMILIES["URx"],
+        "lnx": DISTRIBUTION_FAMILIES["LNx"],
+        "smx": DISTRIBUTION_FAMILIES["SMx"],
+    }
+
+    distributions: List[object] = []
+    currents: List[float] = []
+    for i in range(n):
+        if distribution == "normal" or (distribution == "mixed" and i % 2 == 0):
+            marginal = _normal_marginal(rng)
+            current = float(rng.normal(marginal.mean, marginal.std))
+            # Center the error model at the reported value (the CDC/Adoptions
+            # convention and the Theorem 3.9 assumption).
+            marginal = NormalSpec(mean=current, std=marginal.std)
+        else:
+            factory = discrete_factories["urx" if distribution == "mixed" else distribution]
+            marginal = factory(rng, max_support)
+            current = float(marginal.sample(rng))
+        distributions.append(marginal)
+        currents.append(current)
+
+    variances = [float(d.variance) for d in distributions]
+    costs = make_costs(cost_model, rng, currents, variances)
+    objects = [
+        UncertainObject(
+            name=f"{prefix}_{i:05d}",
+            current_value=currents[i],
+            distribution=distributions[i],
+            cost=costs[i],
+            label=f"{prefix} synthetic value {i}",
+        )
+        for i in range(n)
+    ]
+    return UncertainDatabase(objects)
+
+
+def make_world_model(
+    database: UncertainDatabase,
+    correlation: str,
+    rho: float = 0.7,
+    block_size: int = 8,
+    bandwidth: int = 4,
+) -> Optional[GaussianWorldModel]:
+    """The correlated error model for a database, or ``None`` when independent.
+
+    ``chain`` injects the Section 4.5 geometric decay ``rho**|i-j|``;
+    ``block`` correlates consecutive blocks of ``block_size`` objects at
+    constant ``rho``; ``banded`` uses the PSD moving-average construction cut
+    off beyond lag ``bandwidth``.  Correlation regimes require an all-normal
+    database (the model is a multivariate normal over the same marginals);
+    the covariances are PSD by construction, so the O(n^3) validation is
+    skipped.
+    """
+    if correlation == "independent":
+        return None
+    if correlation not in CORRELATION_REGIMES:
+        raise ValueError(
+            f"unknown correlation regime {correlation!r}; known: {CORRELATION_REGIMES}"
+        )
+    if not database.all_normal():
+        raise ValueError(
+            f"correlation regime {correlation!r} needs an all-normal database "
+            "(the correlated model is a multivariate normal over the marginals)"
+        )
+    stds = database.stds
+    if correlation == "chain":
+        covariance = decaying_covariance(stds, rho)
+    elif correlation == "block":
+        covariance = block_covariance(stds, block_size, rho)
+    else:
+        covariance = banded_covariance(stds, bandwidth, rho)
+    return GaussianWorldModel(database.current_values, covariance, validate=False)
+
+
+def median_window_sum(database: UncertainDatabase, width: int) -> float:
+    """Median of the non-overlapping window sums at the current values.
+
+    The default Gamma for "as low/high as Gamma" claims: mid-range thresholds
+    (where the threshold indicator can go either way) are where the initial
+    uncertainty — and the algorithm differences — are largest.
+    """
+    values = database.current_values
+    n = len(database)
+    original_start = n - width
+    starts = range(original_start % width, n - width + 1, width)
+    sums = [float(values[s : s + width].sum()) for s in starts]
+    return float(np.median(sums))
+
+
+def share_of_recent_workload(
+    database: UncertainDatabase,
+    period: int = 4,
+    share: float = 0.25,
+    max_perturbations: int = 16,
+    sensibility_rate: float = 1.5,
+) -> Workload:
+    """Fairness of a "recent period carries at least a ``share`` of the total" claim.
+
+    The generalization of the CDC-causes claim to an arbitrary timeline: the
+    original claim asserts ``sum(last period) - share * sum(everything
+    earlier) > 0`` and each perturbation makes the same assertion about an
+    earlier ``period``-length window (comparing it against everything before
+    *it*), with exponentially decaying sensibility.  All claims are linear,
+    so the bias measure is linear too and the modular Section 3.2 machinery
+    applies — this is the matrix's "linear aggregate" claim shape on
+    generated data.
+    """
+    n = len(database)
+    if not 0 < period < n:
+        raise ValueError("period must be positive and smaller than the database")
+
+    def period_claim(last_index: int, label: str) -> LinearClaim:
+        weights: Dict[int, float] = {}
+        start = last_index - period + 1
+        for i in range(start, last_index + 1):
+            weights[i] = 1.0
+        for i in range(0, start):
+            weights[i] = -share
+        return LinearClaim(weights, label=label)
+
+    original = period_claim(n - 1, label="original")
+    claims: List[ClaimFunction] = []
+    distances: List[float] = []
+    for last_index in range(period, n - 1):
+        claims.append(period_claim(last_index, label=f"period_ending_{last_index}"))
+        distances.append(float((n - 1) - last_index))
+    if len(claims) > max_perturbations:
+        order = sorted(range(len(claims)), key=lambda i: distances[i])[:max_perturbations]
+        order = sorted(order)
+        claims = [claims[i] for i in order]
+        distances = [distances[i] for i in order]
+    weights = exponential_sensibility(distances, rate=sensibility_rate)
+    perturbations = PerturbationSet(original, tuple(claims), tuple(weights))
+    bias = Bias(perturbations, database.current_values)
+    return Workload(
+        database=database,
+        query_function=bias,
+        perturbations=perturbations,
+        description=f"fairness of 'last {period} values carry a {share:g} share' claim",
+    )

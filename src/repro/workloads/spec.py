@@ -1,0 +1,182 @@
+"""The workload registry: declarative scenario specs behind the matrix harness.
+
+The paper's evaluation (Figures 1--12) spans many regimes — distribution
+families, cost models, correlation structures, claim shapes — but each figure
+hard-wires one combination.  A :class:`WorkloadSpec` names one combination as
+data: which generator family produced the error models, which cost model
+prices the cleaning, whether (and how) errors are correlated, and what shape
+the claim takes.  :func:`register_workload` records specs in a global
+registry (mirroring the solver and experiment registries), so harnesses like
+the scenario matrix (:mod:`repro.experiments.matrix`) can enumerate scenarios
+instead of hard-coding them::
+
+    @register_workload(
+        name="uniqueness_lnx_heavy",
+        description="duplicity over a skewed timeline with Pareto-tailed costs",
+        family="discrete_lognormal",
+        cost_model="heavy_tailed",
+        correlation="independent",
+        claim_shape="window_threshold",
+    )
+    def _build(n: int, seed: int) -> Workload:
+        ...
+
+    build_workload("uniqueness_lnx_heavy", n=200, seed=0)   # -> Workload
+
+Builders take ``(n, seed, **params)`` and return a ready-to-run
+:class:`~repro.experiments.workloads.Workload`.  Specs over fixed real
+datasets (the four paper workloads) set ``scales_with_n = False`` and ignore
+``n``.  :func:`coverage_summary` reports how many distribution families, cost
+models and correlation regimes the registered specs span — the breadth the
+scenario matrix inherits for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.experiments.workloads import Workload
+
+__all__ = [
+    "WorkloadSpec",
+    "register_workload",
+    "get_workload_spec",
+    "available_workloads",
+    "build_workload",
+    "coverage_summary",
+]
+
+# Builder: (n, seed, **params) -> Workload.
+WorkloadBuilder = Callable[..., Workload]
+
+#: The metadata axes a spec must pick a value on.  Values are open-ended
+#: strings (new families register freely); these names are what
+#: :func:`coverage_summary` groups by.
+COVERAGE_AXES = ("family", "cost_model", "correlation", "claim_shape")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered scenario: metadata axes plus a parameterized builder.
+
+    ``family`` names the error-model family (``discrete_uniform`` /
+    ``discrete_lognormal`` / ``discrete_multimodal`` / ``normal`` /
+    ``mixed``); ``cost_model`` the cleaning-cost generator; ``correlation``
+    the error-correlation regime (``independent`` / ``chain`` / ``block`` /
+    ``banded``); ``claim_shape`` the claim structure (``window_comparison`` /
+    ``linear_aggregate`` / ``window_threshold``).  ``defaults`` are keyword
+    parameters merged under any caller overrides; ``scales_with_n`` is False
+    for specs pinned to a fixed real dataset.
+    """
+
+    name: str
+    description: str
+    builder: WorkloadBuilder
+    family: str
+    cost_model: str
+    correlation: str
+    claim_shape: str
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    scales_with_n: bool = True
+    paper_figure: str = ""
+
+    def build(self, n: Optional[int] = None, seed: int = 0, **overrides: Any) -> Workload:
+        """Instantiate the workload at size ``n`` with the given ``seed``.
+
+        ``overrides`` take precedence over the spec's ``defaults``.  Specs
+        with ``scales_with_n = False`` ignore ``n`` (their dataset has a
+        fixed size).  The returned workload carries the spec's ``name``.
+        """
+        params: Dict[str, Any] = dict(self.defaults)
+        params.update(overrides)
+        if self.scales_with_n:
+            workload = self.builder(n=n, seed=seed, **params)
+        else:
+            workload = self.builder(seed=seed, **params)
+        workload.name = self.name
+        if not workload.description:
+            workload.description = self.description
+        return workload
+
+
+_WORKLOAD_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(
+    name: str,
+    description: str,
+    family: str,
+    cost_model: str,
+    correlation: str,
+    claim_shape: str,
+    defaults: Optional[Mapping[str, Any]] = None,
+    scales_with_n: bool = True,
+    paper_figure: str = "",
+):
+    """Decorator registering a builder function as a :class:`WorkloadSpec`.
+
+    Re-registering a name overwrites the previous spec (supports reloading in
+    notebooks), mirroring the solver registry's convention.
+    """
+
+    def _register(builder: WorkloadBuilder) -> WorkloadBuilder:
+        _WORKLOAD_REGISTRY[name] = WorkloadSpec(
+            name=name,
+            description=description,
+            builder=builder,
+            family=family,
+            cost_model=cost_model,
+            correlation=correlation,
+            claim_shape=claim_shape,
+            defaults=dict(defaults or {}),
+            scales_with_n=scales_with_n,
+            paper_figure=paper_figure,
+        )
+        return builder
+
+    return _register
+
+
+def get_workload_spec(name: str) -> WorkloadSpec:
+    """Look up a registered workload spec by name."""
+    try:
+        return _WORKLOAD_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_WORKLOAD_REGISTRY))
+        raise KeyError(
+            f"no workload registered under {name!r}; known workloads: {known}"
+        ) from None
+
+
+def available_workloads() -> Dict[str, WorkloadSpec]:
+    """All registered workload specs, in registration order."""
+    return dict(_WORKLOAD_REGISTRY)
+
+
+def build_workload(name: str, n: Optional[int] = None, seed: int = 0, **overrides: Any) -> Workload:
+    """Build the named workload: shorthand for ``get_workload_spec(name).build(...)``."""
+    return get_workload_spec(name).build(n=n, seed=seed, **overrides)
+
+
+def coverage_summary(
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+) -> Dict[str, List[str]]:
+    """Distinct values per metadata axis across the given (default: all) specs.
+
+    The scenario matrix prints this so a report states its breadth explicitly
+    — e.g. ``{"family": ["discrete_uniform", "normal", ...], ...}`` — instead
+    of leaving the reader to infer it from workload names.
+    """
+    chosen = list(specs) if specs is not None else list(_WORKLOAD_REGISTRY.values())
+    summary: Dict[str, List[str]] = {}
+    for axis in COVERAGE_AXES:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for spec in chosen:
+            value = getattr(spec, axis)
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        summary[axis] = ordered
+    return summary

@@ -1,0 +1,97 @@
+"""Documentation health: strict docs build, link check, public-API docstrings."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(module_path: Path, name: str):
+    spec = importlib.util.spec_from_file_location(name, module_path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return _load(REPO_ROOT / "docs" / "build_docs.py", "_docs_builder_under_test")
+
+
+class TestDocsBuild:
+    def test_strict_build_is_clean(self, builder, tmp_path):
+        """The acceptance invariant: the site builds with zero warnings."""
+        warning_count = builder.build(tmp_path / "site", check_only=False)
+        assert warning_count == 0, builder._warnings
+        assert (tmp_path / "site" / "index.html").exists()
+        assert (tmp_path / "site" / "notation.html").exists()
+        assert (tmp_path / "site" / "api" / "repro_core.html").exists()
+
+    def test_required_pages_exist(self):
+        for page in ("index.md", "architecture.md", "workloads.md", "notation.md", "examples.md"):
+            assert (REPO_ROOT / "docs" / page).exists(), page
+
+    def test_broken_link_is_detected(self, builder):
+        builder._warnings.clear()
+        builder.check_links(
+            "index.md",
+            "see [missing](no_such_page.md) and [bad anchor](architecture.md#nope)",
+            {"index.md": set(), "architecture.md": {"architecture"}},
+        )
+        assert len(builder._warnings) == 2
+
+    def test_markdown_renderer_basics(self, builder):
+        html, headings = builder.render_markdown(
+            "# Title\n\nSome `code` and **bold**.\n\n"
+            "| a | b |\n| --- | --- |\n| 1 | 2 |\n\n```python\nx = 1\n```\n\n- item\n"
+        )
+        assert '<h1 id="title">' in html
+        assert "<table>" in html and "<td>1</td>" in html
+        assert '<pre><code class="language-python">' in html
+        assert "<li>item</li>" in html
+        assert headings[0] == (1, "title", "Title")
+
+    def test_api_reference_covers_solver_protocol(self, builder):
+        body, headings = builder.generate_api_page("repro.core")
+        slugs = {slug for _level, slug, _title in headings}
+        assert builder.slugify("repro.core.Solver") in slugs
+        assert "select_indices" in body
+
+    def test_readme_links_resolve(self):
+        """README references to docs/benchmarks must point at real files."""
+        import re
+
+        readme = (REPO_ROOT / "README.md").read_text()
+        for match in re.finditer(r"\]\(([^)#\s]+)\)", readme):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            assert (REPO_ROOT / target).exists(), f"README links to missing {target}"
+
+
+class TestMetadata:
+    def test_pyproject_version_matches_runtime(self):
+        import re
+
+        import repro
+
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.MULTILINE).group(1)
+        assert declared == repro.__version__
+
+
+class TestDocstringGate:
+    def test_public_api_docstrings_clean(self):
+        checker = _load(
+            REPO_ROOT / "tools" / "check_docstrings.py", "_docstring_checker_under_test"
+        )
+        problems = []
+        for package in checker.PACKAGES:
+            problems.extend(checker.check_module(package))
+        assert problems == []

@@ -1,0 +1,55 @@
+"""Smoke test: every gallery example runs end to end in fast mode.
+
+The docs gallery (docs/examples.md) promises each script runs from the repo
+root with ``--fast``; this test holds that promise — and a total wall-clock
+budget well under 30 seconds — so the examples cannot silently rot as the
+library evolves.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+TOTAL_BUDGET_SECONDS = 30.0
+_elapsed: dict = {}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_fast(script: Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    started = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, str(script), "--fast"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TOTAL_BUDGET_SECONDS,
+    )
+    _elapsed[script.stem] = time.perf_counter() - started
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_gallery_is_documented_and_fast():
+    # Every example script appears in the gallery page...
+    gallery = (REPO_ROOT / "docs" / "examples.md").read_text()
+    for script in EXAMPLES:
+        assert script.name in gallery, f"{script.name} missing from docs/examples.md"
+    # ...and the whole gallery stays within the smoke budget.
+    assert len(_elapsed) == len(EXAMPLES), "run after the per-script smoke tests"
+    total = sum(_elapsed.values())
+    assert total < TOTAL_BUDGET_SECONDS, f"examples took {total:.1f}s (budget {TOTAL_BUDGET_SECONDS}s)"

@@ -1,0 +1,209 @@
+"""Workload registry: catalog coverage, build determinism, spec protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import Workload
+from repro.workloads import (
+    CORRELATION_REGIMES,
+    COST_MODELS,
+    DISTRIBUTION_KINDS,
+    available_workloads,
+    build_workload,
+    coverage_summary,
+    get_workload_spec,
+    make_costs,
+    make_database,
+    make_world_model,
+    median_window_sum,
+    register_workload,
+    share_of_recent_workload,
+)
+from repro.uncertainty.correlation import banded_covariance, block_covariance
+
+
+class TestCatalogCoverage:
+    def test_at_least_twelve_specs(self):
+        assert len(available_workloads()) >= 12
+
+    def test_axis_coverage_meets_matrix_contract(self):
+        coverage = coverage_summary()
+        assert len(coverage["family"]) >= 3
+        assert len(coverage["cost_model"]) >= 3
+        assert len(coverage["correlation"]) >= 2
+        assert len(coverage["claim_shape"]) >= 2
+
+    def test_paper_workloads_reregistered(self):
+        names = set(available_workloads())
+        for name in (
+            "paper_fairness_adoptions",
+            "paper_fairness_cdc_causes",
+            "paper_uniqueness_cdc_firearms",
+            "paper_robustness_cdc_firearms",
+        ):
+            assert name in names
+            assert not get_workload_spec(name).scales_with_n
+
+    def test_every_spec_builds_a_workload(self):
+        for name, spec in available_workloads().items():
+            workload = spec.build(n=20, seed=0)
+            assert isinstance(workload, Workload)
+            assert workload.name == name
+            assert len(workload.database) >= 1
+            # Correlated specs must carry their world model; the covariance
+            # must match the database size.
+            if spec.correlation != "independent":
+                assert workload.world_model is not None
+                n = len(workload.database)
+                assert workload.world_model.covariance.shape == (n, n)
+            # Every workload exposes a linear handle for MaxPr/Dep solvers.
+            assert workload.linear_function() is not None
+
+    def test_scalable_specs_honour_n(self):
+        for name, spec in available_workloads().items():
+            if not spec.scales_with_n:
+                continue
+            workload = spec.build(n=24, seed=1)
+            assert len(workload.database) == 24, name
+
+
+class TestBuildDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["fairness_urx_uniform", "uniqueness_lnx_heavy", "fairness_normal_chain"]
+    )
+    def test_same_seed_same_database(self, name):
+        a = build_workload(name, n=24, seed=7)
+        b = build_workload(name, n=24, seed=7)
+        np.testing.assert_array_equal(a.database.current_values, b.database.current_values)
+        np.testing.assert_array_equal(a.database.costs, b.database.costs)
+        np.testing.assert_array_equal(a.database.variances, b.database.variances)
+        if a.world_model is not None:
+            np.testing.assert_array_equal(
+                a.world_model.covariance, b.world_model.covariance
+            )
+
+    def test_different_seed_different_database(self):
+        a = build_workload("fairness_urx_uniform", n=24, seed=0)
+        b = build_workload("fairness_urx_uniform", n=24, seed=1)
+        assert not np.array_equal(a.database.current_values, b.database.current_values)
+
+
+class TestSpecProtocol:
+    def test_register_and_build_roundtrip(self):
+        @register_workload(
+            name="_test_tmp_spec",
+            description="temporary test spec",
+            family="discrete_uniform",
+            cost_model="unit",
+            correlation="independent",
+            claim_shape="window_comparison",
+            defaults={"width": 2},
+        )
+        def _build(n=None, seed=0, width=2):
+            database = make_database(n or 12, seed, distribution="urx", cost_model="unit")
+            return share_of_recent_workload(database, period=width)
+
+        try:
+            spec = get_workload_spec("_test_tmp_spec")
+            workload = spec.build(n=12, seed=0)
+            assert workload.name == "_test_tmp_spec"
+            # defaults merged under overrides
+            override = spec.build(n=12, seed=0, width=3)
+            assert override.query_function is not workload.query_function
+        finally:
+            from repro.workloads.spec import _WORKLOAD_REGISTRY
+
+            _WORKLOAD_REGISTRY.pop("_test_tmp_spec", None)
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known workloads"):
+            get_workload_spec("definitely_not_registered")
+
+
+class TestGenerators:
+    def test_all_distribution_kinds_build(self):
+        for kind in DISTRIBUTION_KINDS:
+            db = make_database(12, 0, distribution=kind)
+            assert len(db) == 12
+            if kind == "normal":
+                assert db.all_normal()
+            elif kind == "mixed":
+                assert not db.all_normal() and not db.all_discrete()
+            else:
+                assert db.all_discrete()
+
+    def test_all_cost_models_positive(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(1, 100, size=15)
+        variances = rng.uniform(0.1, 50, size=15)
+        for model in COST_MODELS:
+            costs = make_costs(model, np.random.default_rng(1), values, variances)
+            assert len(costs) == 15
+            assert all(c > 0 for c in costs)
+
+    def test_budget_adversarial_costs_rise_with_variance(self):
+        rng = np.random.default_rng(0)
+        variances = np.linspace(1.0, 50.0, 20)
+        costs = make_costs("budget_adversarial", rng, np.ones(20), variances)
+        # Rank correlation should be strongly positive despite jitter.
+        assert np.corrcoef(variances, costs)[0, 1] > 0.9
+
+    def test_unknown_kinds_raise(self):
+        with pytest.raises(ValueError):
+            make_database(10, 0, distribution="nope")
+        with pytest.raises(ValueError):
+            make_costs("nope", np.random.default_rng(0), [1.0], [1.0])
+        db = make_database(10, 0, distribution="normal")
+        with pytest.raises(ValueError):
+            make_world_model(db, "nope")
+
+    def test_correlation_regimes_produce_psd_models(self):
+        db = make_database(16, 0, distribution="normal")
+        for regime in CORRELATION_REGIMES:
+            model = make_world_model(db, regime)
+            if regime == "independent":
+                assert model is None
+                continue
+            eigenvalues = np.linalg.eigvalsh(model.covariance)
+            assert eigenvalues.min() > -1e-8
+            np.testing.assert_allclose(
+                np.diagonal(model.covariance), db.stds**2, rtol=1e-9
+            )
+
+    def test_correlation_requires_normal_database(self):
+        db = make_database(10, 0, distribution="urx")
+        with pytest.raises(ValueError, match="all-normal"):
+            make_world_model(db, "chain")
+
+    def test_block_covariance_structure(self):
+        stds = np.ones(6)
+        cov = block_covariance(stds, block_size=3, rho=0.5)
+        assert cov[0, 1] == pytest.approx(0.5)
+        assert cov[0, 3] == 0.0  # across blocks: independent
+        assert np.linalg.eigvalsh(cov).min() > -1e-12
+
+    def test_banded_covariance_is_banded_and_psd(self):
+        stds = np.linspace(1.0, 2.0, 8)
+        cov = banded_covariance(stds, bandwidth=2, rho=0.8)
+        lags = np.abs(np.subtract.outer(np.arange(8), np.arange(8)))
+        assert np.all(cov[lags > 2] == 0.0)
+        assert np.any(cov[(lags > 0) & (lags <= 2)] != 0.0)
+        assert np.linalg.eigvalsh(cov).min() > -1e-10
+
+    def test_share_of_recent_is_linear(self):
+        db = make_database(16, 0, distribution="urx")
+        workload = share_of_recent_workload(db, period=4, share=0.25)
+        assert workload.query_function.is_linear()
+        weights = workload.query_function.weights(len(db))
+        assert weights.shape == (16,)
+        assert np.any(weights != 0)
+
+    def test_median_window_sum_matches_manual(self):
+        db = make_database(12, 0, distribution="urx")
+        values = db.current_values
+        manual = float(
+            np.median([values[s : s + 4].sum() for s in (0, 4, 8)])
+        )
+        assert median_window_sum(db, 4) == pytest.approx(manual)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""D1-style docstring gate over the public API surface.
+
+Checks that every export of the public packages — ``repro.core``,
+``repro.uncertainty``, ``repro.workloads``, ``repro.claims``,
+``repro.datasets``, ``repro.experiments`` — has a docstring whose first
+line is a one-line summary, and that the public methods/properties of
+exported classes are documented too (pydocstyle's D101/D102/D103 scope,
+without the dependency).
+
+When ``ruff`` is importable the script first runs its ``D1`` rules over the
+package ``__init__`` modules as an extra signal; the bundled checks below
+are the authoritative gate either way, so the result is identical on
+machines without ruff.
+
+Exit status: 0 when clean, 1 with one line per violation otherwise.  Run
+via ``make lint-docstrings`` or ``python tools/check_docstrings.py``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _shared_member_walk():
+    """The docs builder's public-member walker — one definition of the surface.
+
+    Loaded from docs/build_docs.py so this gate and the strict API-reference
+    build can never enforce different member sets.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "_repro_docs_builder", REPO_ROOT / "docs" / "build_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.iter_public_members
+
+
+iter_public_members = _shared_member_walk()
+
+PACKAGES = [
+    "repro.uncertainty",
+    "repro.claims",
+    "repro.core",
+    "repro.datasets",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+def _summary_ok(doc: str) -> bool:
+    first = doc.strip().split("\n", 1)[0].strip()
+    return bool(first)
+
+
+def check_module(module_name: str) -> List[str]:
+    """All docstring violations for one package's ``__all__`` exports."""
+    import importlib
+
+    problems: List[str] = []
+    module = importlib.import_module(module_name)
+    if not inspect.getdoc(module):
+        problems.append(f"{module_name}: missing module docstring (D100)")
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name, None)
+        if obj is None or inspect.ismodule(obj) or not callable(obj) and not inspect.isclass(obj):
+            continue
+        qualified = f"{module_name}.{name}"
+        doc = inspect.getdoc(obj)
+        if not doc or not _summary_ok(doc):
+            code = "D101" if inspect.isclass(obj) else "D103"
+            problems.append(f"{qualified}: missing/empty docstring ({code})")
+            continue
+        if inspect.isclass(obj):
+            for member_name, target, _kind in iter_public_members(obj):
+                member_doc = inspect.getdoc(target)
+                if not member_doc or not _summary_ok(member_doc):
+                    problems.append(
+                        f"{qualified}.{member_name}: missing/empty docstring (D102)"
+                    )
+    return problems
+
+
+def run_ruff_if_available() -> None:
+    """Extra signal on machines that have ruff: D1 rules on the package inits."""
+    try:
+        import ruff  # noqa: F401
+    except ImportError:
+        return
+    targets = [
+        str(REPO_ROOT / "src" / package.replace(".", "/") / "__init__.py")
+        for package in PACKAGES
+    ]
+    subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "--select", "D1", *targets],
+        check=False,
+    )
+
+
+def main() -> int:
+    run_ruff_if_available()
+    problems: List[str] = []
+    for package in PACKAGES:
+        problems.extend(check_module(package))
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"\n{len(problems)} docstring violation(s)", file=sys.stderr)
+        return 1
+    print(f"docstring check clean across {len(PACKAGES)} packages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
