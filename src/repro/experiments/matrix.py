@@ -197,6 +197,42 @@ def _build_greedy_dep(workload: Workload, seed: int):
     return GreedyDep(function, workload.world_model, conditional=False), None
 
 
+#: epsilon of the stochastic-greedy aliases: the sample per step is
+#: ceil((n/k) ln(1/eps)) candidates and the guarantee (1 - 1/e - eps).
+STOCHASTIC_EPSILON = 0.1
+
+
+def _build_greedy_minvar_stochastic(workload: Workload, seed: int):
+    # The per-cell crc32 seed is the *only* entropy source, so matrix runs
+    # stay byte-deterministic even with candidate sampling in the loop.
+    return (
+        GreedyMinVar(
+            workload.query_function,
+            stochastic_epsilon=STOCHASTIC_EPSILON,
+            stochastic_rng=np.random.default_rng(seed),
+        ),
+        None,
+    )
+
+
+def _build_greedy_dep_stochastic(workload: Workload, seed: int):
+    if workload.world_model is None:
+        return None, "workload has no correlated world model"
+    function = workload.linear_function()
+    if function is None:
+        return None, "no linear query handle for the dependency engine"
+    return (
+        GreedyDep(
+            function,
+            workload.world_model,
+            conditional=False,
+            stochastic_epsilon=STOCHASTIC_EPSILON,
+            stochastic_rng=np.random.default_rng(seed),
+        ),
+        None,
+    )
+
+
 def _build_optimum(workload: Workload, seed: int):
     if not workload.query_function.is_linear():
         return None, "knapsack Optimum requires a linear query function"
@@ -211,6 +247,8 @@ SOLVER_BUILDERS: Dict[str, Callable] = {
     "greedy_naive": _build_greedy_naive,
     "greedy_naive_cost_blind": _build_greedy_naive_cost_blind,
     "greedy_dep": _build_greedy_dep,
+    "greedy_minvar_stochastic": _build_greedy_minvar_stochastic,
+    "greedy_dep_stochastic": _build_greedy_dep_stochastic,
     "random": _build_random,
     "optimum": _build_optimum,
 }

@@ -24,6 +24,17 @@ from repro.uncertainty.correlation import (
     banded_covariance,
     conditional_covariance,
 )
+from repro.uncertainty.structured import (
+    DENSE_MATERIALIZATION_LIMIT,
+    BandedConditionalGaussian,
+    BandedCovariance,
+    BlockConditionalGaussian,
+    BlockDiagonalCovariance,
+    LowRankConditionalGaussian,
+    LowRankCovariance,
+    StructureTooLargeError,
+    StructuredCovariance,
+)
 
 __all__ = [
     "DiscreteDistribution",
@@ -37,4 +48,13 @@ __all__ = [
     "block_covariance",
     "banded_covariance",
     "conditional_covariance",
+    "DENSE_MATERIALIZATION_LIMIT",
+    "StructureTooLargeError",
+    "StructuredCovariance",
+    "BandedCovariance",
+    "BlockDiagonalCovariance",
+    "LowRankCovariance",
+    "BandedConditionalGaussian",
+    "BlockConditionalGaussian",
+    "LowRankConditionalGaussian",
 ]

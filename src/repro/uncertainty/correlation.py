@@ -29,11 +29,14 @@ per candidate per step into one O(n^2) pass per step.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.uncertainty.database import UncertainDatabase
+
+if TYPE_CHECKING:  # circular-import-free type reference only
+    from repro.uncertainty.structured import StructuredCovariance
 
 __all__ = [
     "decaying_covariance",
@@ -83,6 +86,16 @@ def block_covariance(
     if np.any(stds < 0):
         raise ValueError("standard deviations must be nonnegative")
     n = stds.size
+    if block_size > n:
+        raise ValueError(
+            f"block_size {block_size} exceeds n={n}; a single all-covering "
+            "block is equicorrelated, not block-diagonal"
+        )
+    if block_size == 1 and rho != 0.0:
+        raise ValueError(
+            "block_size=1 with rho != 0 is degenerate: single-object blocks "
+            "have no off-diagonal entries, so rho would be silently ignored"
+        )
     blocks = np.arange(n) // block_size
     same_block = blocks[:, None] == blocks[None, :]
     eye = np.eye(n, dtype=bool)
@@ -112,6 +125,11 @@ def banded_covariance(
     if np.any(stds < 0):
         raise ValueError("standard deviations must be nonnegative")
     n = stds.size
+    if bandwidth >= n:
+        raise ValueError(
+            f"bandwidth {bandwidth} must be smaller than n={n} "
+            "(a full-width band is a dense matrix, not a banded one)"
+        )
     # A[i, k] = damping of shock k in component i, causal: component i mixes
     # shocks k in [i - bandwidth, i] only, so (A A^T)_{ij} needs a shared
     # shock and vanishes beyond lag `bandwidth`.
@@ -246,7 +264,17 @@ class ConditionalGaussian:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The working covariance (cleaned rows/columns zeroed).  Do not mutate."""
+        """The working covariance (cleaned rows/columns zeroed).  Do not mutate.
+
+        The dense engine holds this array anyway, so returning it is free.
+        The structured engines (:mod:`repro.uncertainty.structured`) would
+        have to *materialize* n x n to answer the same question, so their
+        ``matrix`` is guarded by
+        :data:`~repro.uncertainty.structured.DENSE_MATERIALIZATION_LIMIT`
+        and raises at structured sizes instead of silently allocating
+        terabytes — treat ``matrix`` as a small-n debugging aid, never as a
+        hot-path input.
+        """
         return self._sigma
 
     def submatrix(self) -> np.ndarray:
@@ -363,37 +391,88 @@ class GaussianWorldModel:
     check — for matrices that are PSD by construction (e.g.
     :func:`decaying_covariance`) at paper scale, the check would dominate the
     model's construction cost.
+
+    A model can alternatively be built over a compact
+    :class:`~repro.uncertainty.structured.StructuredCovariance`
+    (:meth:`from_structure`): ``structure`` then carries the tag the engine
+    dispatch inspects, :meth:`engine` returns the matching structured engine
+    (banded / block / low-rank) instead of the dense
+    :class:`ConditionalGaussian`, and :attr:`covariance` materializes the
+    dense matrix lazily — guarded so a stray access at n = 10^6 raises
+    :class:`~repro.uncertainty.structured.StructureTooLargeError` instead of
+    allocating 8 TB.
     """
 
     def __init__(
         self,
         means: Sequence[float],
-        covariance: np.ndarray,
+        covariance: Optional[np.ndarray] = None,
         validate: bool = True,
+        structure: Optional["StructuredCovariance"] = None,
     ):
         self.means = np.asarray(means, dtype=float)
-        self.covariance = np.asarray(covariance, dtype=float)
         n = self.means.size
-        if self.covariance.shape != (n, n):
-            raise ValueError(
-                f"covariance must be {n}x{n}, got {self.covariance.shape}"
-            )
-        if validate:
-            if not np.allclose(self.covariance, self.covariance.T, atol=1e-9):
-                raise ValueError("covariance matrix must be symmetric")
-            eigenvalues = np.linalg.eigvalsh(self.covariance)
-            if np.any(eigenvalues < -1e-8):
-                raise ValueError("covariance matrix must be positive semi-definite")
+        if (covariance is None) == (structure is None):
+            raise ValueError("provide exactly one of covariance or structure")
+        #: The structure tag (a StructuredCovariance) or None for dense models.
+        self.structure = structure
+        if structure is not None:
+            if structure.size != n:
+                raise ValueError(
+                    f"structure has {structure.size} components, means have {n}"
+                )
+            self._covariance: Optional[np.ndarray] = None
+        else:
+            dense = np.asarray(covariance, dtype=float)
+            if dense.shape != (n, n):
+                raise ValueError(f"covariance must be {n}x{n}, got {dense.shape}")
+            if validate:
+                if not np.allclose(dense, dense.T, atol=1e-9):
+                    raise ValueError("covariance matrix must be symmetric")
+                eigenvalues = np.linalg.eigvalsh(dense)
+                if np.any(eigenvalues < -1e-8):
+                    raise ValueError("covariance matrix must be positive semi-definite")
+            self._covariance = dense
         # Sampling factor (Cholesky, or the eigen fallback for semi-definite
         # matrices), computed lazily and cached — rng.multivariate_normal
         # refactorizes the covariance on every call.
         self._sampling_factor: Optional[np.ndarray] = None
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """The dense covariance matrix.
+
+        For structured models this *materializes* the dense matrix on first
+        access (cached afterwards) and is guarded by
+        :data:`~repro.uncertainty.structured.DENSE_MATERIALIZATION_LIMIT`:
+        above it, the access raises
+        :class:`~repro.uncertainty.structured.StructureTooLargeError` with
+        instructions, instead of silently allocating an n x n array the
+        structured representation exists to avoid.  Structure-aware callers
+        should use :attr:`structure` / :meth:`engine` /
+        :meth:`variance_of_linear` instead.
+        """
+        if self._covariance is None:
+            self._covariance = self.structure.to_dense()
+        return self._covariance
 
     @classmethod
     def independent(cls, means: Sequence[float], stds: Sequence[float]) -> "GaussianWorldModel":
         """Model with independent components (diagonal covariance)."""
         stds = np.asarray(stds, dtype=float)
         return cls(means, np.diag(stds**2))
+
+    @classmethod
+    def from_structure(
+        cls, means: Sequence[float], structure: "StructuredCovariance"
+    ) -> "GaussianWorldModel":
+        """Model over a compact structured covariance (banded / block / low-rank).
+
+        The structure is PSD by construction, so no O(n^3) validation runs;
+        :meth:`engine` dispatches on ``structure.kind`` and the dense
+        :attr:`covariance` is only materialized (guarded) on explicit access.
+        """
+        return cls(means, structure=structure)
 
     @classmethod
     def from_database(
@@ -422,11 +501,19 @@ class GaussianWorldModel:
     def engine(
         self, weights: Optional[Sequence[float]] = None, conditional: bool = True
     ) -> ConditionalGaussian:
-        """A fresh :class:`ConditionalGaussian` over this model's covariance.
+        """A fresh conditioning engine over this model's covariance.
 
-        The covariance was validated at model construction, so the engine
-        skips its own symmetry check (it takes a working copy regardless).
+        Structured models dispatch on their structure tag: a banded / block /
+        low-rank model returns the matching structured engine (same
+        ``condition_on`` / ``gains`` / ``variance`` surface, O(n * bandwidth)
+        or O(block^2) or O(n r) per step), so ``GreedyDep`` and
+        ``AdaptiveDep`` exploit structure without any changes.  Dense models
+        keep the :class:`ConditionalGaussian` fallback unchanged; its
+        covariance was validated at model construction, so the engine skips
+        its own symmetry check (it takes a working copy regardless).
         """
+        if self.structure is not None:
+            return self.structure.engine(weights=weights, conditional=conditional)
         return ConditionalGaussian(
             self.covariance, weights=weights, conditional=conditional, validate=False
         )
@@ -435,8 +522,10 @@ class GaussianWorldModel:
     # Linear functionals
     # ------------------------------------------------------------------ #
     def variance_of_linear(self, weights: Sequence[float]) -> float:
-        """Variance of ``w . X``."""
+        """Variance of ``w . X`` (structure-aware: never materializes n x n)."""
         w = np.asarray(weights, dtype=float)
+        if self.structure is not None and self._covariance is None:
+            return float(w @ self.structure.matvec(w))
         return float(w @ self.covariance @ w)
 
     def post_cleaning_variance(self, weights: Sequence[float], cleaned: Sequence[int]) -> float:

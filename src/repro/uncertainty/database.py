@@ -53,7 +53,12 @@ class UncertainDatabase:
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate object names: {duplicates}")
         self._objects_list: Optional[List[UncertainObject]] = objects
-        self._index_by_name: Dict[str, int] = {obj.name: i for i, obj in enumerate(objects)}
+        self._index_by_name: Optional[Dict[str, int]] = {
+            obj.name: i for i, obj in enumerate(objects)
+        }
+        # Array-backed databases (`from_normal_arrays`) carry a name prefix
+        # instead of an object list; None means object-backed.
+        self._array_prefix: Optional[str] = None
         # Reveal-overlay state.  A plain database is its own base; an overlay
         # built by `conditioned` references the *root* database (never an
         # intermediate overlay, so chains of reveals don't pin dead overlays)
@@ -78,15 +83,103 @@ class UncertainDatabase:
         return array
 
     # ------------------------------------------------------------------ #
+    # Array-backed construction (large n)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_normal_arrays(
+        cls,
+        current_values: Sequence[float],
+        stds: Sequence[float],
+        costs: Optional[Sequence[float]] = None,
+        means: Optional[Sequence[float]] = None,
+        prefix: str = "obj",
+    ) -> "UncertainDatabase":
+        """All-normal database built directly from stat vectors.
+
+        The per-object :class:`UncertainObject` list costs hundreds of bytes
+        per entry, which dominates memory at the BENCH_scale regimes
+        (n = 10^6); this constructor skips it entirely.  The four stat
+        vectors are stored as the usual read-only views, object names are
+        ``f"{prefix}{i}"``, and the name index and object list are
+        materialized lazily only if something actually asks for them — the
+        vectorized selection paths never do.  Semantically identical to
+        ``UncertainDatabase([UncertainObject(f"{prefix}{i}", u[i],
+        NormalSpec(mean[i], std[i]), cost[i]) for i in range(n)])``.
+
+        ``means`` defaults to ``current_values`` (the usual "reported value
+        is the best guess" workload setup); ``costs`` defaults to unit.
+        """
+        current = np.asarray(current_values, dtype=float)
+        if current.ndim != 1 or current.size == 0:
+            raise ValueError("current_values must be a non-empty 1-D array")
+        n = current.size
+        stds_arr = np.asarray(stds, dtype=float)
+        if stds_arr.shape != (n,):
+            raise ValueError(f"stds must have shape ({n},), got {stds_arr.shape}")
+        if (stds_arr < 0).any():
+            raise ValueError("standard deviations must be nonnegative")
+        if costs is None:
+            costs_arr = np.ones(n, dtype=float)
+        else:
+            costs_arr = np.asarray(costs, dtype=float)
+            if costs_arr.shape != (n,):
+                raise ValueError(f"costs must have shape ({n},), got {costs_arr.shape}")
+            if (costs_arr <= 0).any():
+                raise ValueError("cleaning costs must be positive")
+        if means is None:
+            means_arr = current
+        else:
+            means_arr = np.asarray(means, dtype=float)
+            if means_arr.shape != (n,):
+                raise ValueError(f"means must have shape ({n},), got {means_arr.shape}")
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+
+        database = object.__new__(cls)
+        database._objects_list = None
+        database._index_by_name = None
+        database._overlay_base = None
+        database._overlay_delta = {}
+        database._overlay_objects = {}
+        database._array_prefix = str(prefix)
+        database._current_values = cls._frozen(current)
+        database._means = cls._frozen(means_arr)
+        database._variances = cls._frozen(stds_arr * stds_arr)
+        database._stds = cls._frozen(stds_arr)
+        database._costs = cls._frozen(costs_arr)
+        database._total_cost = float(database._costs.sum())
+        return database
+
+    def _array_object(self, index: int) -> UncertainObject:
+        """Materialize the single object at ``index`` of an array-backed database."""
+        return UncertainObject(
+            name=f"{self._array_prefix}{index}",
+            current_value=float(self._current_values[index]),
+            distribution=NormalSpec(
+                mean=float(self._means[index]), std=float(self._stds[index])
+            ),
+            cost=float(self._costs[index]),
+        )
+
+    def _name_index(self) -> Dict[str, int]:
+        """The name -> position index, built lazily for array-backed databases."""
+        if self._index_by_name is None:
+            self._index_by_name = {f"{self._array_prefix}{i}": i for i in range(len(self))}
+        return self._index_by_name
+
+    # ------------------------------------------------------------------ #
     # Reveal overlays (incremental conditioning)
     # ------------------------------------------------------------------ #
     @property
     def _objects(self) -> List[UncertainObject]:
         """The object list; materialized on first full access for overlays."""
         if self._objects_list is None:
-            materialized = list(self._overlay_base._objects)
-            for index in self._overlay_delta:
-                materialized[index] = self._revealed_object(index)
+            if self._overlay_base is not None:
+                materialized = list(self._overlay_base._objects)
+                for index in self._overlay_delta:
+                    materialized[index] = self._revealed_object(index)
+            else:
+                materialized = [self._array_object(i) for i in range(len(self))]
             self._objects_list = materialized
         return self._objects_list
 
@@ -94,7 +187,7 @@ class UncertainDatabase:
         """The cleaned object an overlay exposes at a revealed position."""
         cached = self._overlay_objects.get(index)
         if cached is None:
-            cached = self._overlay_base._objects[index].cleaned(self._overlay_delta[index])
+            cached = self._overlay_base[index].cleaned(self._overlay_delta[index])
             self._overlay_objects[index] = cached
         return cached
 
@@ -112,6 +205,7 @@ class UncertainDatabase:
         overlay = object.__new__(cls)
         overlay._objects_list = None
         overlay._index_by_name = base._index_by_name
+        overlay._array_prefix = base._array_prefix
         overlay._overlay_base = base
         overlay._overlay_delta = delta
         overlay._overlay_objects = {}
@@ -177,20 +271,24 @@ class UncertainDatabase:
 
     def __getitem__(self, key) -> UncertainObject:
         if isinstance(key, str):
-            key = self._index_by_name[key]
+            key = self._name_index()[key]
         if self._objects_list is None and isinstance(key, (int, np.integer)):
-            # Overlay fast path: serve single objects through the delta
-            # without materializing the full list.
+            # Overlay / array-backed fast path: serve single objects without
+            # materializing the full list.
             index = int(key)
             if index < 0:
                 index += len(self)
+            if not 0 <= index < len(self):
+                raise IndexError(f"object index {key} out of range for n={len(self)}")
             if index in self._overlay_delta:
                 return self._revealed_object(index)
-            return self._overlay_base._objects[index]
+            if self._overlay_base is not None:
+                return self._overlay_base[index]
+            return self._array_object(index)
         return self._objects[key]
 
     def __contains__(self, name: str) -> bool:
-        return name in self._index_by_name
+        return name in self._name_index()
 
     def __repr__(self) -> str:
         return f"UncertainDatabase(n={len(self)}, total_cost={self.total_cost:g})"
@@ -203,15 +301,18 @@ class UncertainDatabase:
     @property
     def names(self) -> List[str]:
         """Object names in positional order."""
+        if self._objects_list is None and self._overlay_base is None:
+            return [f"{self._array_prefix}{i}" for i in range(len(self))]
         return [obj.name for obj in self._objects]
 
     def index_of(self, name: str) -> int:
         """Position of the object with the given name."""
-        return self._index_by_name[name]
+        return self._name_index()[name]
 
     def indices_of(self, names: Iterable[str]) -> List[int]:
         """Positions of the objects with the given names, in input order."""
-        return [self._index_by_name[name] for name in names]
+        index = self._name_index()
+        return [index[name] for name in names]
 
     # ------------------------------------------------------------------ #
     # Vector views
@@ -246,8 +347,16 @@ class UncertainDatabase:
         """Cost of cleaning every object."""
         return self._total_cost
 
+    def _is_pure_normal_arrays(self) -> bool:
+        """True for array-backed databases with no reveals: every object is
+        a :class:`NormalSpec` by construction, so the distribution-kind
+        queries below can answer without materializing n objects."""
+        return self._array_prefix is not None and not self._overlay_delta
+
     def max_support_size(self) -> int:
         """Largest discrete support size among the objects (``V`` in Thm 3.8)."""
+        if self._is_pure_normal_arrays():
+            return 0
         sizes = [
             obj.distribution.support_size
             for obj in self._objects
@@ -257,10 +366,14 @@ class UncertainDatabase:
 
     def all_discrete(self) -> bool:
         """True when every object has a finite discrete distribution."""
+        if self._is_pure_normal_arrays():
+            return False
         return all(isinstance(obj.distribution, DiscreteDistribution) for obj in self._objects)
 
     def all_normal(self) -> bool:
         """True when every object has a normal error model."""
+        if self._is_pure_normal_arrays():
+            return True
         return all(isinstance(obj.distribution, NormalSpec) for obj in self._objects)
 
     # ------------------------------------------------------------------ #
@@ -413,6 +526,10 @@ class UncertainDatabase:
         """
         if count <= 0:
             return np.zeros((0, len(self)), dtype=float)
+        if self._is_pure_normal_arrays():
+            # One matrix draw instead of n column draws (different random
+            # stream than the per-column path, but reproducible per seed).
+            return rng.normal(self._means, self._stds, size=(count, len(self)))
         worlds = np.empty((count, len(self)), dtype=float)
         for j, obj in enumerate(self._objects):
             worlds[:, j] = obj.distribution.sample(rng, size=count)

@@ -33,8 +33,10 @@ from repro.experiments.workloads import (
 )
 from repro.workloads.generators import (
     make_database,
+    make_normal_array_database,
     make_world_model,
     median_window_sum,
+    scale_share_workload,
     share_of_recent_workload,
 )
 from repro.workloads.spec import register_workload
@@ -275,6 +277,50 @@ def _fairness_normal_block(
     )
     workload = fairness_window_comparison_workload(database, width=4, later_window_start=4)
     workload.world_model = make_world_model(database, "block", rho=rho, block_size=block_size)
+    return workload
+
+
+@register_workload(
+    name="scale_share_banded",
+    description="recent-share claim with banded correlation in the structured "
+    "(O(n*bandwidth)) representation — the BENCH_scale dependency regime",
+    family="normal",
+    cost_model="unit",
+    correlation="banded",
+    claim_shape="linear_aggregate",
+    defaults={"rho": 0.6, "bandwidth": 8},
+)
+def _scale_share_banded(
+    n: Optional[int] = None, seed: int = 0, rho: float = 0.6, bandwidth: int = 8
+) -> Workload:
+    size = _size(n)
+    database = make_normal_array_database(size, seed, cost_model="unit")
+    workload = scale_share_workload(database, period=max(2, size // 16), share=0.25)
+    workload.world_model = make_world_model(
+        database, "banded", rho=rho, bandwidth=min(bandwidth, size - 1), structured=True
+    )
+    return workload
+
+
+@register_workload(
+    name="scale_share_block",
+    description="recent-share claim with block-diagonal correlation in the "
+    "structured (per-block dense) representation — scales to large n",
+    family="normal",
+    cost_model="uniform",
+    correlation="block",
+    claim_shape="linear_aggregate",
+    defaults={"rho": 0.5, "block_size": 8},
+)
+def _scale_share_block(
+    n: Optional[int] = None, seed: int = 0, rho: float = 0.5, block_size: int = 8
+) -> Workload:
+    size = _size(n)
+    database = make_normal_array_database(size, seed, cost_model="uniform")
+    workload = scale_share_workload(database, period=max(2, size // 16), share=0.25)
+    workload.world_model = make_world_model(
+        database, "block", rho=rho, block_size=min(block_size, size), structured=True
+    )
     return workload
 
 

@@ -59,8 +59,11 @@ __all__ = [
     "CORRELATION_REGIMES",
     "make_costs",
     "make_database",
+    "make_normal_array_database",
     "make_world_model",
     "median_window_sum",
+    "recent_share_claim",
+    "scale_share_workload",
     "share_of_recent_workload",
 ]
 
@@ -192,6 +195,7 @@ def make_world_model(
     rho: float = 0.7,
     block_size: int = 8,
     bandwidth: int = 4,
+    structured: bool = False,
 ) -> Optional[GaussianWorldModel]:
     """The correlated error model for a database, or ``None`` when independent.
 
@@ -202,6 +206,18 @@ def make_world_model(
     database (the model is a multivariate normal over the same marginals);
     the covariances are PSD by construction, so the O(n^3) validation is
     skipped.
+
+    ``structured=True`` stores the ``block``/``banded`` regimes in their
+    O(n * block) / O(n * bandwidth) structured representations
+    (:class:`~repro.uncertainty.structured.BlockDiagonalCovariance` /
+    :class:`~repro.uncertainty.structured.BandedCovariance`) via
+    :meth:`GaussianWorldModel.from_structure
+    <repro.uncertainty.correlation.GaussianWorldModel.from_structure>`, so
+    the dependency solvers dispatch to the banded/block conditioning engines
+    and the dense n x n matrix is never allocated — the representation the
+    BENCH_scale regimes require.  The values are identical to the dense
+    builders.  ``chain`` has no compact structured form (the geometric decay
+    is dense and full-rank) and rejects ``structured=True`` explicitly.
     """
     if correlation == "independent":
         return None
@@ -215,6 +231,22 @@ def make_world_model(
             "(the correlated model is a multivariate normal over the marginals)"
         )
     stds = database.stds
+    if structured:
+        if correlation == "chain":
+            raise ValueError(
+                "the chain regime has no structured representation (rho**|i-j| "
+                "is dense); use correlation='banded' or 'block', or structured=False"
+            )
+        from repro.uncertainty.structured import (
+            BandedCovariance,
+            BlockDiagonalCovariance,
+        )
+
+        if correlation == "block":
+            structure = BlockDiagonalCovariance.from_equicorrelated(stds, block_size, rho)
+        else:
+            structure = BandedCovariance.from_moving_average(stds, bandwidth, rho)
+        return GaussianWorldModel.from_structure(database.current_values, structure)
     if correlation == "chain":
         covariance = decaying_covariance(stds, rho)
     elif correlation == "block":
@@ -222,6 +254,79 @@ def make_world_model(
     else:
         covariance = banded_covariance(stds, bandwidth, rho)
     return GaussianWorldModel(database.current_values, covariance, validate=False)
+
+
+def make_normal_array_database(
+    n: int,
+    seed: int,
+    cost_model: str = "unit",
+    prefix: str = "scale",
+) -> UncertainDatabase:
+    """Array-backed all-normal database for the large-n (BENCH_scale) regimes.
+
+    Same statistical conventions as ``make_database(distribution="normal")``
+    — means drawn on the synthetic value scale, stds in [2, 12], the error
+    model centered at the reported value — but generated as three vectorized
+    draws and stored through
+    :meth:`UncertainDatabase.from_normal_arrays
+    <repro.uncertainty.database.UncertainDatabase.from_normal_arrays>`, so no
+    per-object Python structures exist at n = 10^6.  Only the vectorized
+    cost models apply (``unit``/``uniform``).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    stds = rng.uniform(2.0, 12.0, size=n)
+    currents = rng.normal(rng.uniform(20.0, 100.0, size=n), stds)
+    if cost_model == "unit":
+        costs = None
+    elif cost_model == "uniform":
+        costs = rng.uniform(1.0, 10.0, size=n)
+    else:
+        raise ValueError(
+            f"cost model {cost_model!r} is not vectorized; "
+            "array-backed databases support 'unit' and 'uniform'"
+        )
+    return UncertainDatabase.from_normal_arrays(currents, stds, costs=costs, prefix=prefix)
+
+
+def recent_share_claim(n: int, period: int = 4, share: float = 0.25) -> LinearClaim:
+    """The 'recent period carries a ``share`` of the total' claim as one vector.
+
+    The original claim of :func:`share_of_recent_workload` —
+    ``sum(last period) - share * sum(everything earlier) > 0`` — built from a
+    dense weight vector in one pass, with no perturbation machinery.  This is
+    the linear query the scale workloads and BENCH_scale runs use.
+    """
+    if not 0 < period < n:
+        raise ValueError("period must be positive and smaller than the database")
+    weights = np.full(n, -share, dtype=float)
+    weights[n - period :] = 1.0
+    return LinearClaim.from_vector(weights, label="recent_share")
+
+
+def scale_share_workload(
+    database: UncertainDatabase, period: int = 4, share: float = 0.25
+) -> Workload:
+    """The recent-share claim wrapped as a minimal linear workload.
+
+    The large-n twin of :func:`share_of_recent_workload`: one
+    :func:`recent_share_claim` vector as the query function, a trivial
+    single-perturbation set (the claim itself), no measure machinery — the
+    shape the scale benchmarks and structured-regime specs run, where every
+    per-step cost must stay O(n) or better.
+    """
+    claim = recent_share_claim(len(database), period=period, share=share)
+    perturbations = PerturbationSet(claim, (claim,), (1.0,))
+    return Workload(
+        database=database,
+        query_function=claim,
+        perturbations=perturbations,
+        description=(
+            f"recent-share linear claim at scale "
+            f"(last {period} values vs a {share:g} share)"
+        ),
+    )
 
 
 def median_window_sum(database: UncertainDatabase, width: int) -> float:
