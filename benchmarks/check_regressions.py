@@ -10,12 +10,23 @@ Each known artifact declares which of its keys is the measured value and
 which is the committed ceiling/floor it must respect.  Unknown ``BENCH_*``
 files are reported but not enforced (add a rule when a new artifact lands);
 a known artifact with missing keys fails loudly — a silently renamed key
-must not disable its gate.
+must not disable its gate.  Every artifact must also carry an
+``environment`` block (CPU counts, numpy/scipy/numba versions, compiled
+backend) so a regression diff can tell a real slowdown from a machine or
+toolchain change.
+
+``--write-baseline`` regenerates every ``BENCH_*.json`` in one command: it
+runs the perf-regression, tier and scale benchmarks (including the
+``scale``-marked ones the default pytest addopts deselect) and then
+re-checks the fresh artifacts.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -46,7 +57,14 @@ RULES = {
         ("dependency_band_storage_bytes", "<=", "band_storage_ceiling_bytes"),
         ("peak_rss_mb", "<=", "peak_rss_ceiling_mb"),
     ],
+    "BENCH_tiers.json": [
+        ("max_compiled_over_numpy_speedup", ">=", "compiled_speedup_floor"),
+    ],
 }
+
+#: Environment facts every artifact must record (enforced for known
+#: artifacts): enough to attribute a timing shift to hardware or toolchain.
+REQUIRED_ENVIRONMENT_KEYS = ("python", "cpu_count", "numpy", "scipy")
 
 
 def check(path: Path) -> list:
@@ -56,6 +74,15 @@ def check(path: Path) -> list:
         print(f"  ? {path.name}: no regression rule registered (not enforced)")
         return failures
     data = json.loads(path.read_text())
+    environment = data.get("environment")
+    if not isinstance(environment, dict) or any(
+        key not in environment for key in REQUIRED_ENVIRONMENT_KEYS
+    ):
+        failures.append(
+            f"{path.name}: missing or incomplete 'environment' metadata "
+            f"(need at least {', '.join(REQUIRED_ENVIRONMENT_KEYS)}) — "
+            "regenerate with --write-baseline"
+        )
     for measured_key, comparator, limit_key in rules:
         if measured_key not in data or limit_key not in data:
             failures.append(
@@ -80,8 +107,48 @@ def check(path: Path) -> list:
     return failures
 
 
+def write_baseline(bench_dir: Path) -> int:
+    """Regenerate every BENCH_*.json by running the benchmark suites once.
+
+    Three pytest invocations cover every artifact writer: the
+    perf-regression suite (BENCH_kernels/sweeps/adaptive/dep), the tier grid
+    (BENCH_tiers) and the scale benchmark (BENCH_scale — ``scale``-marked,
+    so it must be selected explicitly against the default addopts).
+    """
+    repo_root = bench_dir.parent
+    environment = dict(os.environ)
+    source_dir = str(repo_root / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        source_dir if not existing else source_dir + os.pathsep + existing
+    )
+    runs = [
+        ["benchmarks/test_perf_regression.py", "benchmarks/test_tiers.py"],
+        ["benchmarks/test_scale.py", "-m", "scale"],
+    ]
+    for selection in runs:
+        command = [sys.executable, "-m", "pytest", "-q", *selection]
+        print(f"$ {' '.join(command)}")
+        completed = subprocess.run(command, cwd=repo_root, env=environment)
+        if completed.returncode != 0:
+            print(f"baseline run failed (exit {completed.returncode}); aborting")
+            return completed.returncode
+    return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate every BENCH_*.json (runs the benchmark suites), then check",
+    )
+    args = parser.parse_args()
     bench_dir = Path(__file__).parent
+    if args.write_baseline:
+        status = write_baseline(bench_dir)
+        if status != 0:
+            return status
     artifacts = sorted(bench_dir.glob("BENCH_*.json"))
     if not artifacts:
         print("no BENCH_*.json artifacts found — nothing to check")

@@ -21,6 +21,7 @@ import pytest
 
 from conftest import run_once
 from repro.claims.functions import LinearClaim
+from repro.kernels import environment_metadata
 from repro.core.adaptive import AdaptiveMinVar, ground_truth_oracle, run_adaptive_trials
 from repro.core.expected_variance import (
     DecomposedEVCalculator,
@@ -118,6 +119,7 @@ def test_decomposed_greedy_n2000_smoke(benchmark, report):
     # Artifact first, ceiling assert second: a breached ceiling must reach
     # disk so the CI gate (check_regressions.py) can fail on the fresh
     # numbers rather than re-validating the last passing run's artifact.
+    artifact["environment"] = environment_metadata()
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
     report(
@@ -207,6 +209,7 @@ def test_sweep_engine_single_trace_n2000(benchmark, report):
         "cold_over_traced_speedup": per_budget_cold_seconds / max(traced_seconds, 1e-9),
         "ratio_ceiling": SWEEP_RATIO_CEILING,
     }
+    artifact["environment"] = environment_metadata()
     SWEEP_ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
     report(
@@ -300,6 +303,7 @@ def test_adaptive_incremental_n2000(benchmark, report):
         "multi_trial_per_trial_seconds": per_trial_seconds,
         "multi_trial_mean_cost": batch.mean_cost,
     }
+    artifact["environment"] = environment_metadata()
     ADAPTIVE_ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
     report(
@@ -450,6 +454,7 @@ def test_greedy_dep_conditioning_engine_n500(benchmark, report):
         "scaled_sweep_seconds": scaled_sweep_seconds,
         "scaled_conditional_selection_seconds": conditional_scaled_seconds,
     }
+    artifact["environment"] = environment_metadata()
     DEP_ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
 
     report(

@@ -34,6 +34,7 @@ import numpy as np
 import pytest
 
 from repro.core.greedy import GreedyDep, GreedyMinVar
+from repro.kernels import environment_metadata
 from repro.workloads.catalog import DEFAULT_N  # noqa: F401  (registers specs)
 from repro.workloads.generators import make_normal_array_database, recent_share_claim
 from repro.workloads.spec import build_workload
@@ -142,6 +143,7 @@ def test_scale_structured_engine(report):
         "band_storage_ceiling_bytes": BAND_STORAGE_CEILING_BYTES,
         "peak_rss_ceiling_mb": PEAK_RSS_CEILING_MB,
     }
+    artifact["environment"] = environment_metadata()
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
     report(f"scale artifact -> {ARTIFACT_PATH.name}: " + json.dumps(artifact, indent=2))
 

@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 from scipy import stats
 
+from repro import kernels
 from repro.claims.functions import ClaimFunction
 from repro.uncertainty.database import UncertainDatabase
 from repro.uncertainty.distributions import NormalSpec, convolve_support
@@ -315,15 +316,12 @@ class SingletonSurpriseKernel:
         meaningless by construction (they are never candidates again).
         """
         if self.mode == "normal":
-            with np.errstate(divide="ignore", invalid="ignore"):
-                z = (-tau - self._shift) / self._sd
-                probabilities = stats.norm.cdf(z)
-            degenerate = self._sd <= 0.0
-            if degenerate.any():
-                probabilities = np.where(
-                    degenerate, (self._shift < -tau).astype(float), probabilities
-                )
-            return np.asarray(probabilities, dtype=float)
+            # Tier-dispatched: Phi((-tau - shift) / sd) with the sd <= 0
+            # indicator convention of the scalar calculators.
+            return np.asarray(
+                kernels.normal_surprise_scores(self._shift, self._sd, tau),
+                dtype=float,
+            )
         if self.mode == "discrete":
             hit_mass = np.where(self._drops < -tau - 1e-12, self._masses, 0.0)
             return np.add.reduceat(hit_mass, self._offsets)

@@ -15,11 +15,20 @@ and by how much.  One :class:`ScenarioMatrix` run crosses
 * a budget-fraction grid,
 
 on the traced sweep engine (:func:`~repro.experiments.sweeps.run_budget_sweep`
-— incremental solvers are traced once per workload and sliced per budget;
-``max_workers`` opts into its process pool, with the engine's automatic
-serial fallback for non-picklable measures).  Every cell gets a
-deterministic seed derived from ``(seed, workload, solver)``, so the whole
-matrix is reproducible from one integer.
+— incremental solvers are traced once per workload and sliced per budget).
+Every cell gets a deterministic seed derived from ``(seed, workload,
+solver)``, so the whole matrix is reproducible from one integer.
+
+``max_workers`` (``"auto"`` sizes to the machine) shards the run across a
+process pool at the *workload* level: each worker receives a chunk of spec
+names plus the run parameters — a few strings and numbers, never a workload
+object — and rebuilds its workloads from the registry, so the submissions
+stay pickle-light no matter how large ``n`` is.  Chunks are assembled back
+in registry order, making the pooled result cell-for-cell identical to the
+serial one (same crc32 cell seeds, same solver construction).  ``parallel``
+selects the policy: ``"auto"`` (pool when ``max_workers`` asks for it),
+``"forced"`` (always pool — errors propagate rather than downgrading), or
+``"off"``.
 
 The result is a :class:`MatrixResult`: tidy per-cell rows (objective,
 regret against the per-cell winner, win flag), per-solver win-rate/regret
@@ -33,8 +42,9 @@ from __future__ import annotations
 
 import time
 import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +59,7 @@ from repro.core.greedy import (
     RandomSelector,
 )
 from repro.core.modular import OptimumModularMinVar
+from repro.experiments.parallel import chunk_ranges, resolve_max_workers
 from repro.experiments.persistence import write_rows_csv
 from repro.experiments.registry import argument, register_experiment
 from repro.experiments.reporting import format_rows
@@ -412,6 +423,113 @@ class MatrixResult:
 
 
 # --------------------------------------------------------------------------- #
+# Workload execution (module-level so process-pool shards can run it)
+# --------------------------------------------------------------------------- #
+def _build_solver_set(
+    workload: Workload, solvers: Sequence[str], base_seed: int, tau: float
+) -> Tuple[Dict[str, object], List[dict]]:
+    built: Dict[str, object] = {}
+    skipped: List[dict] = []
+    for alias in solvers:
+        factory = SOLVER_BUILDERS[alias]
+        seed = cell_seed(base_seed, workload.name, alias)
+        if alias == "greedy_maxpr":
+            solver, reason = factory(workload, seed, tau=tau)
+        else:
+            solver, reason = factory(workload, seed)
+        if solver is None:
+            skipped.append(
+                {"workload": workload.name, "solver": alias, "reason": reason}
+            )
+        else:
+            built[alias] = solver
+    return built, skipped
+
+
+def _execute_workload(
+    name: str,
+    n: Optional[int],
+    base_seed: int,
+    solvers: Sequence[str],
+    budget_fractions: Sequence[float],
+    tau: float,
+    use_traces: bool,
+) -> dict:
+    """Build and sweep one workload; everything returned is plain data.
+
+    This is the unit a pool shard repeats: the workload is rebuilt from its
+    registered spec *inside* the calling process (only the name crosses the
+    process boundary), the sweep runs serially (the shards are the
+    parallelism — nesting pools would oversubscribe), and the result is a
+    dict of :class:`MatrixCell` rows plus bookkeeping, identical whether it
+    ran in a worker or inline.
+    """
+    from repro.workloads import get_workload_spec
+
+    spec = get_workload_spec(name)
+    workload = spec.build(n=n, seed=cell_seed(base_seed, name))
+    objective, objective_kind = _workload_objective(workload)
+    algorithms, skipped = _build_solver_set(workload, solvers, base_seed, tau)
+    if not algorithms:
+        return {
+            "name": name,
+            "cells": [],
+            "skipped": skipped,
+            "seconds": 0.0,
+            "executed": False,
+        }
+    started = time.perf_counter()
+    sweep = run_budget_sweep(
+        workload.database,
+        algorithms,
+        objective,
+        budget_fractions=budget_fractions,
+        description=spec.description,
+        use_traces=use_traces,
+        parallel="off",
+    )
+    seconds = time.perf_counter() - started
+    initial = float(objective(()))
+    costs = workload.database.costs
+    cells: List[MatrixCell] = []
+    for alias in algorithms:
+        values = sweep.series[alias]
+        selections = sweep.selections[alias]
+        for fraction, value, selection in zip(budget_fractions, values, selections):
+            cells.append(
+                MatrixCell(
+                    workload=name,
+                    solver=alias,
+                    budget_fraction=float(fraction),
+                    objective=float(value),
+                    initial_objective=initial,
+                    n_selected=len(selection),
+                    cost_spent=float(costs[list(selection)].sum())
+                    if selection
+                    else 0.0,
+                    family=spec.family,
+                    cost_model=spec.cost_model,
+                    correlation=spec.correlation,
+                    claim_shape=spec.claim_shape,
+                    objective_kind=objective_kind,
+                    seed=cell_seed(base_seed, name, alias),
+                )
+            )
+    return {
+        "name": name,
+        "cells": cells,
+        "skipped": skipped,
+        "seconds": seconds,
+        "executed": True,
+    }
+
+
+def _execute_workload_shard(names: Sequence[str], *config) -> List[dict]:
+    """Pool worker: run a chunk of workloads serially, in the given order."""
+    return [_execute_workload(name, *config) for name in names]
+
+
+# --------------------------------------------------------------------------- #
 # The runner
 # --------------------------------------------------------------------------- #
 class ScenarioMatrix:
@@ -421,8 +539,10 @@ class ScenarioMatrix:
     ``solvers`` is a sequence of :data:`SOLVER_BUILDERS` aliases.  ``n`` and
     ``seed`` parameterize the workload builds (fixed-dataset specs ignore
     ``n``); every (workload, solver) cell seeds its own RNG via
-    :func:`cell_seed`.  ``max_workers`` flows into the sweep engine's process
-    pool; ``tau`` is the MaxPr drop threshold.
+    :func:`cell_seed`.  ``max_workers`` (int or ``"auto"``) shards the
+    workloads across a process pool (see the module docstring); ``parallel``
+    picks the ``"auto"``/``"forced"``/``"off"`` pool policy; ``tau`` is the
+    MaxPr drop threshold.
     """
 
     def __init__(
@@ -433,9 +553,14 @@ class ScenarioMatrix:
         n: Optional[int] = 200,
         seed: int = 0,
         tau: float = 0.0,
-        max_workers: Optional[int] = None,
+        max_workers: Union[int, str, None] = None,
         use_traces: bool = True,
+        parallel: str = "auto",
     ):
+        if parallel not in ("auto", "forced", "off"):
+            raise ValueError(
+                f"parallel must be 'auto', 'forced' or 'off', got {parallel!r}"
+            )
         from repro.workloads import available_workloads
 
         if isinstance(workloads, str):
@@ -466,83 +591,86 @@ class ScenarioMatrix:
         self.tau = float(tau)
         self.max_workers = max_workers
         self.use_traces = use_traces
+        self.parallel = parallel
 
     def _build_solvers(self, workload: Workload) -> Tuple[Dict[str, object], List[dict]]:
-        built: Dict[str, object] = {}
-        skipped: List[dict] = []
-        for alias in self.solvers:
-            factory = SOLVER_BUILDERS[alias]
-            seed = cell_seed(self.seed, workload.name, alias)
-            if alias == "greedy_maxpr":
-                solver, reason = factory(workload, seed, tau=self.tau)
-            else:
-                solver, reason = factory(workload, seed)
-            if solver is None:
-                skipped.append(
-                    {"workload": workload.name, "solver": alias, "reason": reason}
+        return _build_solver_set(workload, self.solvers, self.seed, self.tau)
+
+    def _worker_config(self) -> tuple:
+        """The per-workload parameters shipped to pool shards (plain data only)."""
+        return (
+            self.n,
+            self.seed,
+            list(self.solvers),
+            list(self.budget_fractions),
+            self.tau,
+            self.use_traces,
+        )
+
+    def _execute_all(self) -> Dict[str, dict]:
+        """Run every workload, pooled or serial per the parallel policy."""
+        names = self.workload_names
+        config = self._worker_config()
+        use_pool = self.parallel == "forced" or (
+            self.parallel == "auto" and self.max_workers is not None
+        )
+        if use_pool and names:
+            workers = resolve_max_workers(self.max_workers, task_count=len(names))
+            if self.parallel == "forced" or workers > 1:
+                return self._execute_in_pool(names, config, workers)
+        return {name: _execute_workload(name, *config) for name in names}
+
+    @staticmethod
+    def _execute_in_pool(
+        names: List[str], config: tuple, workers: int
+    ) -> Dict[str, dict]:
+        """Shard the workload list across a process pool, chunked.
+
+        Submissions carry chunks of spec *names* plus the config tuple —
+        pickle-light regardless of workload size.  Worker failures propagate
+        (``future.result`` re-raises); there is no silent serial downgrade
+        on this path because the inputs are strings and numbers, which
+        always pickle.
+        """
+        chunks = chunk_ranges(len(names), workers)
+        outcomes: Dict[str, dict] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _execute_workload_shard, [names[i] for i in chunk], *config
                 )
-            else:
-                built[alias] = solver
-        return built, skipped
+                for chunk in chunks
+            ]
+            for future in futures:
+                for outcome in future.result():
+                    outcomes[outcome["name"]] = outcome
+        return outcomes
 
     def run(self) -> MatrixResult:
-        """Execute every cell and return the annotated :class:`MatrixResult`."""
+        """Execute every cell and return the annotated :class:`MatrixResult`.
+
+        Outcomes are reassembled in the declared workload order whatever the
+        pool's completion order was, so pooled and serial runs produce the
+        same rows in the same order.
+        """
         from repro.workloads import coverage_summary, get_workload_spec
+
+        outcomes = self._execute_all()
 
         cells: List[MatrixCell] = []
         skipped: List[dict] = []
         workload_seconds: Dict[str, float] = {}
         executed_specs = []
-
         for name in self.workload_names:
-            spec = get_workload_spec(name)
-            workload = spec.build(n=self.n, seed=cell_seed(self.seed, name))
-            objective, objective_kind = _workload_objective(workload)
-            algorithms, workload_skips = self._build_solvers(workload)
-            skipped.extend(workload_skips)
-            if not algorithms:
+            outcome = outcomes[name]
+            skipped.extend(outcome["skipped"])
+            if not outcome["executed"]:
                 continue
             # Coverage is stated over the workloads that actually produced
             # cells, so a fully-skipped workload cannot inflate the breadth.
-            executed_specs.append(spec)
-            started = time.perf_counter()
-            sweep = run_budget_sweep(
-                workload.database,
-                algorithms,
-                objective,
-                budget_fractions=self.budget_fractions,
-                description=spec.description,
-                use_traces=self.use_traces,
-                max_workers=self.max_workers,
-            )
-            workload_seconds[name] = time.perf_counter() - started
-            initial = float(objective(()))
-            costs = workload.database.costs
-            for alias in algorithms:
-                values = sweep.series[alias]
-                selections = sweep.selections[alias]
-                for fraction, value, selection in zip(
-                    self.budget_fractions, values, selections
-                ):
-                    cells.append(
-                        MatrixCell(
-                            workload=name,
-                            solver=alias,
-                            budget_fraction=float(fraction),
-                            objective=float(value),
-                            initial_objective=initial,
-                            n_selected=len(selection),
-                            cost_spent=float(costs[list(selection)].sum())
-                            if selection
-                            else 0.0,
-                            family=spec.family,
-                            cost_model=spec.cost_model,
-                            correlation=spec.correlation,
-                            claim_shape=spec.claim_shape,
-                            objective_kind=objective_kind,
-                            seed=cell_seed(self.seed, name, alias),
-                        )
-                    )
+            executed_specs.append(get_workload_spec(name))
+            workload_seconds[name] = outcome["seconds"]
+            cells.extend(outcome["cells"])
 
         self._annotate_regret(cells)
         meta = {
@@ -552,6 +680,8 @@ class ScenarioMatrix:
             "n": self.n,
             "seed": self.seed,
             "tau": self.tau,
+            "max_workers": self.max_workers,
+            "parallel": self.parallel,
             "n_cells": len(cells),
             "n_skipped": len(skipped),
         }
@@ -593,6 +723,13 @@ def _parse_names(raw: str) -> List[str]:
     return [token.strip() for token in raw.split(",") if token.strip()]
 
 
+def _parse_workers(raw: str) -> Union[int, str]:
+    """Argparse type for --max-workers: an int or the literal 'auto'."""
+    if raw.strip().lower() == "auto":
+        return "auto"
+    return int(raw)
+
+
 @register_experiment(
     name="matrix",
     description="Scenario matrix: registered workloads x solvers x budgets, with a report",
@@ -617,9 +754,17 @@ def _parse_names(raw: str) -> List[str]:
         argument("--tau", type=float, default=0.0, help="MaxPr drop threshold"),
         argument(
             "--max-workers",
-            type=int,
+            type=_parse_workers,
             default=None,
-            help="process-pool size for the sweep engine (default: serial)",
+            help="workload-shard pool size: an int or 'auto' to size to the "
+            "machine's usable CPUs (default: serial)",
+        ),
+        argument(
+            "--parallel",
+            choices=("auto", "forced", "off"),
+            default="auto",
+            help="pool policy: auto (pool when --max-workers asks), forced "
+            "(always pool, never downgrade), off (default: %(default)s)",
         ),
         argument(
             "--out-dir",
@@ -639,6 +784,7 @@ def _matrix_experiment(args) -> str:
         seed=args.seed,
         tau=args.tau,
         max_workers=args.max_workers,
+        parallel=args.parallel,
     )
     result = matrix.run()
     out_dir = Path(args.out_dir)

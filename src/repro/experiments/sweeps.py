@@ -23,25 +23,30 @@ process pool safe):
 ``use_traces=False`` forces the legacy per-budget path for every algorithm
 (useful for benchmarking the engine against itself).
 
-``max_workers > 1`` opts into a process pool that sweeps algorithms
-concurrently.  Everything submitted must be picklable (database, algorithms,
-and the ``evaluate`` callable); when pickling fails — figure harnesses often
-pass local closures — the engine transparently falls back to the serial path,
-so parallelism is a pure opt-in optimization, never a correctness concern.
+``max_workers`` opts into a process pool that sweeps algorithms concurrently
+(``"auto"`` sizes it to the machine's usable CPUs).  Everything submitted
+must be picklable (database, algorithms, and the ``evaluate`` callable);
+when pickling fails — figure harnesses often pass local closures — the
+``parallel`` mode decides what happens: ``"auto"`` falls back to the serial
+path with a warning naming the unpicklable input, ``"forced"`` raises
+:class:`~repro.experiments.parallel.ParallelExecutionError` instead of
+silently downgrading, and ``"off"`` never touches the pool.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.expected_variance import linear_expected_variance
 from repro.core.problems import budget_from_fraction
 from repro.core.solver import TraceNotSupported
+from repro.experiments.parallel import ParallelExecutionError, resolve_max_workers
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -174,7 +179,8 @@ def run_budget_sweep(
     budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
     description: str = "",
     use_traces: bool = True,
-    max_workers: Optional[int] = None,
+    max_workers: Union[int, str, None] = None,
+    parallel: str = "auto",
 ) -> SweepResult:
     """Run each algorithm across each budget and evaluate its selection.
 
@@ -186,17 +192,34 @@ def run_budget_sweep(
 
     Incremental solvers are traced once at the largest budget and sliced per
     checkpoint; others run per budget (see the module docstring).  Set
-    ``max_workers`` above 1 to sweep algorithms in a process pool; non-picklable
-    inputs fall back to the serial path automatically.
+    ``max_workers`` above 1 (or ``"auto"`` for the machine's usable CPUs) to
+    sweep algorithms in a process pool.  ``parallel`` controls the fallback
+    policy: ``"auto"`` downgrades to serial with a warning when the inputs
+    cannot cross a process boundary, ``"forced"`` always uses the pool and
+    raises instead of downgrading, ``"off"`` stays serial regardless.
     """
+    if parallel not in ("auto", "forced", "off"):
+        raise ValueError(
+            f"parallel must be 'auto', 'forced' or 'off', got {parallel!r}"
+        )
     fractions = [float(f) for f in budget_fractions]
     names = list(algorithms)
 
     results: Optional[Dict[str, Tuple[List[float], List[tuple]]]] = None
-    if max_workers is not None and max_workers > 1 and len(names) > 1:
-        results = _sweep_in_pool(
-            database, algorithms, fractions, evaluate, use_traces, max_workers
-        )
+    if parallel != "off":
+        workers = resolve_max_workers(max_workers, task_count=len(names)) if (
+            max_workers is not None or parallel == "forced"
+        ) else 1
+        if parallel == "forced" or (workers > 1 and len(names) > 1):
+            results = _sweep_in_pool(
+                database,
+                algorithms,
+                fractions,
+                evaluate,
+                use_traces,
+                max(1, workers),
+                forced=parallel == "forced",
+            )
     if results is None:
         results = {
             name: sweep_algorithm(database, algorithms[name], fractions, evaluate, use_traces)
@@ -220,6 +243,7 @@ def _sweep_in_pool(
     evaluate: Callable[[Sequence[int]], float],
     use_traces: bool,
     max_workers: int,
+    forced: bool = False,
 ) -> Optional[Dict[str, Tuple[List[float], List[tuple]]]]:
     """Sweep algorithms concurrently; None when the inputs cannot cross processes.
 
@@ -227,10 +251,26 @@ def _sweep_in_pool(
     closures as ``evaluate``), so the serial fallback happens before any work
     is spent — and a genuine error raised by an algorithm inside a worker
     propagates to the caller instead of being mistaken for a pickling issue.
+    The fallback is never silent: ``forced=True`` raises
+    :class:`ParallelExecutionError`, otherwise a ``RuntimeWarning`` names the
+    pickling failure so a sweep that quietly lost its parallelism is visible.
     """
     try:
         pickle.dumps((database, dict(algorithms), evaluate))
-    except Exception:
+    except Exception as error:
+        message = (
+            "budget sweep inputs cannot cross a process boundary "
+            f"({type(error).__name__}: {error}); "
+        )
+        if forced:
+            raise ParallelExecutionError(
+                message + "parallel='forced' refuses to downgrade to serial"
+            ) from error
+        warnings.warn(
+            message + "falling back to the serial sweep",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return None
     names = list(algorithms)
     with ProcessPoolExecutor(max_workers=min(max_workers, len(names))) as pool:

@@ -1,0 +1,149 @@
+"""Numba-jitted implementations of the dispatched kernels (optional).
+
+Importing this module succeeds even without numba; :data:`AVAILABLE` says
+whether the jitted implementations exist, and :data:`UNAVAILABLE_REASON`
+records why not.  The jitted loops are element-for-element the same
+arithmetic as the C backend (and therefore the scalar reference), and numba
+specializes each on first call per dtype, so float32 arrays get native
+float32 code with no Python-side branching.
+
+``cache=True`` persists the compiled machine code in numba's on-disk cache
+(``NUMBA_CACHE_DIR``), which the CI benchmarks leg restores between runs so
+only the first run after a numba upgrade pays the JIT cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AVAILABLE", "UNAVAILABLE_REASON", "IMPLEMENTATIONS"]
+
+AVAILABLE = False
+UNAVAILABLE_REASON: Optional[str] = None
+IMPLEMENTATIONS: dict = {}
+
+try:
+    import numba
+except ImportError:
+    numba = None
+    UNAVAILABLE_REASON = "numba is not installed"
+
+if numba is not None:
+    import math
+
+    @numba.njit(cache=True)
+    def _outer_downdate(matrix, column, pivot):
+        n = matrix.shape[0]
+        for i in range(n):
+            ci = column[i] / pivot
+            if ci != 0.0:
+                for k in range(n):
+                    matrix[i, k] -= ci * column[k]
+
+    @numba.njit(cache=True)
+    def _banded_downdate(bands, lo, column, pivot):
+        m = column.size
+        max_lag = min(m, bands.shape[0])
+        for lag in range(max_lag):
+            for i in range(m - lag):
+                bands[lag, lo + i] -= (column[i] / pivot) * column[i + lag]
+
+    @numba.njit(cache=True)
+    def _convolve_merge(sums, mass, out_values, out_probabilities):
+        order = np.argsort(sums)
+        merged = 0
+        for t in range(order.size):
+            idx = order[t]
+            value = sums[idx]
+            if merged > 0 and out_values[merged - 1] == value:
+                out_probabilities[merged - 1] += mass[idx]
+            else:
+                out_values[merged] = value
+                out_probabilities[merged] = mass[idx]
+                merged += 1
+        return merged
+
+    @numba.njit(cache=True)
+    def _convolve_pairs(values, probabilities, contributions, cprobs, sums, mass):
+        n = values.size
+        m = contributions.size
+        t = 0
+        for i in range(n):
+            for j in range(m):
+                sums[t] = values[i] + contributions[j]
+                mass[t] = probabilities[i] * cprobs[j]
+                t += 1
+
+    @numba.njit(cache=True)
+    def _normal_surprise(shifts, sds, tau, out):
+        inv_sqrt2 = 0.7071067811865475244008443621
+        for i in range(shifts.size):
+            sd = sds[i]
+            if sd <= 0.0:
+                out[i] = 1.0 if shifts[i] < -tau else 0.0
+            else:
+                z = (-tau - shifts[i]) / sd
+                out[i] = 0.5 * math.erfc(-z * inv_sqrt2)
+
+    @numba.njit(cache=True)
+    def _conditional_gains(matvec, diagonal, floor, out):
+        for i in range(matvec.size):
+            d = diagonal[i]
+            v = matvec[i]
+            out[i] = (v * v) / d if d > floor[i] else 0.0
+
+    @numba.njit(cache=True)
+    def _marginal_gains(weights, matvec, diagonal, cleaned, out):
+        for i in range(matvec.size):
+            if cleaned[i]:
+                out[i] = 0.0
+            else:
+                w = weights[i]
+                out[i] = 2.0 * w * matvec[i] - (w * w) * diagonal[i]
+
+    def outer_downdate(matrix, column, pivot):
+        _outer_downdate(matrix, column, matrix.dtype.type(pivot))
+
+    def banded_downdate(bands, lo, column, pivot):
+        _banded_downdate(bands, int(lo), column, bands.dtype.type(pivot))
+
+    def convolve_support(
+        values, probabilities, contributions, contribution_probabilities
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        total = values.size * contributions.size
+        sums = np.empty(total, dtype=values.dtype)
+        mass = np.empty(total, dtype=probabilities.dtype)
+        _convolve_pairs(
+            values, probabilities, contributions, contribution_probabilities, sums, mass
+        )
+        out_values = np.empty(total, dtype=values.dtype)
+        out_probabilities = np.empty(total, dtype=probabilities.dtype)
+        merged = _convolve_merge(sums, mass, out_values, out_probabilities)
+        return out_values[:merged].copy(), out_probabilities[:merged].copy()
+
+    def normal_surprise_scores(shifts, sds, tau):
+        out = np.empty(shifts.shape, dtype=shifts.dtype)
+        _normal_surprise(shifts, sds, shifts.dtype.type(tau), out)
+        return out
+
+    def conditional_gains(matvec, diagonal, floor):
+        out = np.empty(matvec.shape, dtype=matvec.dtype)
+        _conditional_gains(matvec, diagonal, floor, out)
+        return out
+
+    def marginal_gains(weights, matvec, diagonal, cleaned_mask):
+        out = np.empty(matvec.shape, dtype=matvec.dtype)
+        _marginal_gains(weights, matvec, diagonal, cleaned_mask, out)
+        return out
+
+    AVAILABLE = True
+    IMPLEMENTATIONS = {
+        "outer_downdate": outer_downdate,
+        "banded_downdate": banded_downdate,
+        "convolve_support": convolve_support,
+        "normal_surprise_scores": normal_surprise_scores,
+        "conditional_gains": conditional_gains,
+        "marginal_gains": marginal_gains,
+    }

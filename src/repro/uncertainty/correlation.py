@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.uncertainty.database import UncertainDatabase
 
 if TYPE_CHECKING:  # circular-import-free type reference only
@@ -224,8 +225,11 @@ class ConditionalGaussian:
         weights: Optional[Sequence[float]] = None,
         conditional: bool = True,
         validate: bool = True,
+        dtype=None,
     ):
-        sigma = np.array(covariance, dtype=float)
+        if dtype is None:
+            dtype = kernels.get_kernel_dtype()
+        sigma = np.array(covariance, dtype=dtype)
         if sigma.ndim != 2 or sigma.shape[0] != sigma.shape[1]:
             raise ValueError(f"covariance must be square, got shape {sigma.shape}")
         if validate and not np.allclose(sigma, sigma.T, atol=1e-9):
@@ -237,8 +241,14 @@ class ConditionalGaussian:
         self._cleaned_mask = np.zeros(self._n, dtype=bool)
         # Per-component noise floor: relative to each component's own
         # original variance, NOT the peak diagonal — a globally tiny but
-        # informative component must still condition.
-        self._pivot_floor = np.abs(np.diagonal(sigma)) * self._PIVOT_RTOL
+        # informative component must still condition.  The floor scales with
+        # the working precision's ulp, so float32 engines treat float32
+        # cancellation residue as degenerate.
+        eps_scale = np.finfo(sigma.dtype).eps / np.finfo(np.float64).eps
+        self._pivot_floor = np.asarray(
+            np.abs(np.diagonal(sigma)) * (self._PIVOT_RTOL * float(eps_scale)),
+            dtype=sigma.dtype,
+        )
         self._weights: Optional[np.ndarray] = None
         self._matvec: Optional[np.ndarray] = None
         if weights is not None:
@@ -288,7 +298,7 @@ class ConditionalGaussian:
 
     def set_weights(self, weights: Sequence[float]) -> None:
         """Attach (or replace) the linear functional the engine scores against."""
-        w = np.array(weights, dtype=float)
+        w = np.array(weights, dtype=self._sigma.dtype)
         if w.shape != (self._n,):
             raise ValueError(f"weights must have shape ({self._n},), got {w.shape}")
         self._weights = w
@@ -308,7 +318,7 @@ class ConditionalGaussian:
         pivot = float(sigma[j, j])
         column = sigma[:, j].copy()
         if self._conditional and pivot > self._pivot_floor[j]:
-            sigma -= np.outer(column, column) / pivot
+            kernels.outer_downdate(sigma, column, pivot)
             if self._matvec is not None:
                 self._matvec -= (self._matvec[j] / pivot) * column
         elif self._matvec is not None:
@@ -341,17 +351,14 @@ class ConditionalGaussian:
         """
         if self._matvec is None:
             raise ValueError("gains() requires weights; call set_weights first")
-        diagonal = np.diagonal(self._sigma)
+        # np.diagonal returns a strided view; the compiled tier needs a
+        # contiguous buffer, and the O(n) copy is noise next to the O(n^2)
+        # downdate that precedes every gains pass.
+        diagonal = np.ascontiguousarray(np.diagonal(self._sigma))
         v = self._matvec
         if self._conditional:
-            live = diagonal > self._pivot_floor  # per-component floors
-            out = np.zeros(self._n, dtype=float)
-            np.divide(v * v, diagonal, out=out, where=live)
-        else:
-            w = self._weights
-            out = 2.0 * w * v - (w * w) * diagonal
-            out[self._cleaned_mask] = 0.0
-        return out
+            return kernels.conditional_gains(v, diagonal, self._pivot_floor)
+        return kernels.marginal_gains(self._weights, v, diagonal, self._cleaned_mask)
 
     def gain_of(self, index: int) -> float:
         """Marginal variance reduction of cleaning one candidate."""
@@ -638,11 +645,13 @@ class GaussianWorldModel:
         if cleaned:
             variances[cleaned] = base_variance
             shifts[cleaned] = base_shift
-        live = variances > 0.0
-        safe = np.where(live, variances, 1.0)
-        probabilities = stats.norm.cdf((-threshold_drop - shifts) / np.sqrt(safe))
-        degenerate = np.where(shifts < -threshold_drop, 1.0, 0.0)
-        return np.where(live, probabilities, degenerate)
+        # The surprise kernel's degenerate convention (sd <= 0 -> indicator)
+        # matches the scalar path, so clamping dead variances to sd = 0 and
+        # dispatching one batched call covers both branches.
+        sds = np.sqrt(np.where(variances > 0.0, variances, 0.0))
+        return kernels.normal_surprise_scores(
+            np.ascontiguousarray(shifts), sds, threshold_drop
+        )
 
     # ------------------------------------------------------------------ #
     # Sampling

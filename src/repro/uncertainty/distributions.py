@@ -21,6 +21,8 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 from scipy import stats
 
+from repro import kernels
+
 __all__ = [
     "DiscreteDistribution",
     "NormalSpec",
@@ -39,18 +41,22 @@ def convolve_support(
 
     Forms the outer sum of the accumulated support ``values`` with the new
     term's ``contributions``, multiplies the probabilities, and merges equal
-    sums (``np.unique`` + ``np.bincount``).  Returns the merged
-    ``(values, probabilities)`` with values sorted ascending.  This is the
-    shared kernel behind the weighted-sum pmf of the expected-variance path
-    and the drop-distribution convolution of the MaxPr path.
+    sums.  Returns the merged ``(values, probabilities)`` with values sorted
+    ascending.  This is the shared kernel behind the weighted-sum pmf of the
+    expected-variance path and the drop-distribution convolution of the
+    MaxPr path; the implementation is tier-dispatched (``np.unique`` +
+    ``np.bincount`` on the numpy tier, a sort-and-merge loop on the compiled
+    tier — identical merge semantics, values equal under ``==`` collapse).
     """
-    sums = (values[:, None] + contributions[None, :]).reshape(-1)
-    mass = (probabilities[:, None] * contribution_probabilities[None, :]).reshape(-1)
-    merged_values, inverse = np.unique(sums, return_inverse=True)
-    merged_probabilities = np.bincount(
-        inverse.reshape(-1), weights=mass, minlength=merged_values.size
+    values = np.ascontiguousarray(values, dtype=float)
+    probabilities = np.ascontiguousarray(probabilities, dtype=float)
+    contributions = np.ascontiguousarray(contributions, dtype=float)
+    contribution_probabilities = np.ascontiguousarray(
+        contribution_probabilities, dtype=float
     )
-    return merged_values, merged_probabilities
+    return kernels.convolve_support(
+        values, probabilities, contributions, contribution_probabilities
+    )
 
 _PROBABILITY_TOLERANCE = 1e-9
 

@@ -54,6 +54,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = [
     "DENSE_MATERIALIZATION_LIMIT",
     "StructureTooLargeError",
@@ -493,13 +495,20 @@ class _StructuredConditionalBase:
         diagonal: np.ndarray,
         weights: Optional[Sequence[float]],
         conditional: bool,
+        dtype=None,
     ):
         self._n = int(size)
         self._conditional = bool(conditional)
         self._cleaned: List[int] = []
         self._cleaned_mask = np.zeros(self._n, dtype=bool)
-        self._diag = np.asarray(diagonal, dtype=float).copy()
-        self._pivot_floor = np.abs(self._diag) * _PIVOT_RTOL
+        self._dtype = np.dtype(dtype) if dtype is not None else kernels.get_kernel_dtype()
+        self._diag = np.asarray(diagonal, dtype=self._dtype).copy()
+        # Same relative floor as the dense engine, scaled to the working
+        # precision's ulp (float32 cancellation residue is ~2^29 coarser).
+        eps_scale = np.finfo(self._dtype).eps / np.finfo(np.float64).eps
+        self._pivot_floor = np.asarray(
+            np.abs(self._diag) * (_PIVOT_RTOL * float(eps_scale)), dtype=self._dtype
+        )
         self._weights: Optional[np.ndarray] = None
         self._matvec: Optional[np.ndarray] = None
         if weights is not None:
@@ -541,11 +550,11 @@ class _StructuredConditionalBase:
 
     def set_weights(self, weights: Sequence[float]) -> None:
         """Attach (or replace) the linear functional the engine scores against."""
-        w = np.array(weights, dtype=float)
+        w = np.array(weights, dtype=self._dtype)
         if w.shape != (self._n,):
             raise ValueError(f"weights must have shape ({self._n},), got {w.shape}")
         self._weights = w
-        self._matvec = self._current_matvec(w)
+        self._matvec = np.ascontiguousarray(self._current_matvec(w), dtype=self._dtype)
 
     # -- updates and scoring -------------------------------------------- #
     def condition_on(self, index: int) -> None:
@@ -592,14 +601,8 @@ class _StructuredConditionalBase:
         diagonal = self._diag
         v = self._matvec
         if self._conditional:
-            live = diagonal > self._pivot_floor
-            out = np.zeros(self._n, dtype=float)
-            np.divide(v * v, diagonal, out=out, where=live)
-        else:
-            w = self._weights
-            out = 2.0 * w * v - (w * w) * diagonal
-            out[self._cleaned_mask] = 0.0
-        return out
+            return kernels.conditional_gains(v, diagonal, self._pivot_floor)
+        return kernels.marginal_gains(self._weights, v, diagonal, self._cleaned_mask)
 
     def gain_of(self, index: int) -> float:
         """Marginal variance reduction of cleaning one candidate."""
@@ -609,6 +612,7 @@ class _StructuredConditionalBase:
         """Independent copy of the engine state (cheap: copies the structure, not n x n)."""
         clone = object.__new__(type(self))
         clone._n = self._n
+        clone._dtype = self._dtype
         clone._conditional = self._conditional
         clone._cleaned = list(self._cleaned)
         clone._cleaned_mask = self._cleaned_mask.copy()
@@ -657,10 +661,13 @@ class BandedConditionalGaussian(_StructuredConditionalBase):
         structure: BandedCovariance,
         weights: Optional[Sequence[float]] = None,
         conditional: bool = True,
+        dtype=None,
     ):
-        self._bands = structure.bands.copy()
+        if dtype is None:
+            dtype = kernels.get_kernel_dtype()
+        self._bands = structure.bands.astype(dtype, copy=True)
         super().__init__(
-            structure.size, structure.bands[0], weights, conditional
+            structure.size, structure.bands[0], weights, conditional, dtype=dtype
         )
 
     @property
@@ -677,7 +684,7 @@ class BandedConditionalGaussian(_StructuredConditionalBase):
         width = self._bands.shape[0] - 1
         lo = max(0, j - width)
         hi = min(self._n, j + width + 1)
-        column = np.empty(hi - lo, dtype=float)
+        column = np.empty(hi - lo, dtype=self._bands.dtype)
         left = np.arange(lo, j + 1)
         column[: left.size] = self._bands[j - left, left]
         right = np.arange(j + 1, hi)
@@ -703,12 +710,10 @@ class BandedConditionalGaussian(_StructuredConditionalBase):
             # Fill-in needs lags up to m - 1: widen the band storage.
             grow = min(m, self._n) - self._bands.shape[0]
             self._bands = np.vstack(
-                [self._bands, np.zeros((grow, self._n), dtype=float)]
+                [self._bands, np.zeros((grow, self._n), dtype=self._bands.dtype)]
             )
-        scaled = column / pivot
-        for lag in range(min(m, self._n)):
-            # Entries (lo + i, lo + i + lag) for i = 0..m-1-lag.
-            self._bands[lag, lo : lo + m - lag] -= scaled[: m - lag] * column[lag:]
+        # Entries (lo + i, lo + i + lag) for i = 0..m-1-lag, every lag.
+        kernels.banded_downdate(self._bands, lo, column, pivot)
 
     def _zero_index(self, j: int) -> None:
         self._bands[:, j] = 0.0  # Sigma[j, j + d]
@@ -733,11 +738,16 @@ class BlockConditionalGaussian(_StructuredConditionalBase):
         structure: BlockDiagonalCovariance,
         weights: Optional[Sequence[float]] = None,
         conditional: bool = True,
+        dtype=None,
     ):
-        self._blocks = [m.copy() for m in structure.blocks]
+        if dtype is None:
+            dtype = kernels.get_kernel_dtype()
+        self._blocks = [m.astype(dtype, copy=True) for m in structure.blocks]
         self._starts = structure._starts
         self._block_of = structure._block_of
-        super().__init__(structure.size, structure.diagonal(), weights, conditional)
+        super().__init__(
+            structure.size, structure.diagonal(), weights, conditional, dtype=dtype
+        )
 
     def _locate(self, j: int) -> Tuple[int, int]:
         b = int(self._block_of[j])
@@ -749,7 +759,7 @@ class BlockConditionalGaussian(_StructuredConditionalBase):
 
     def _downdate(self, j: int, pivot: float, lo: int, column: np.ndarray) -> None:
         b, _ = self._locate(j)
-        self._blocks[b] -= np.outer(column, column) / pivot
+        kernels.outer_downdate(self._blocks[b], column, pivot)
 
     def _zero_index(self, j: int) -> None:
         b, lo = self._locate(j)
@@ -757,7 +767,7 @@ class BlockConditionalGaussian(_StructuredConditionalBase):
         self._blocks[b][:, j - lo] = 0.0
 
     def _current_matvec(self, w: np.ndarray) -> np.ndarray:
-        out = np.empty(self._n, dtype=float)
+        out = np.empty(self._n, dtype=self._dtype)
         for b, mat in enumerate(self._blocks):
             lo, hi = self._starts[b], self._starts[b + 1]
             out[lo:hi] = mat @ w[lo:hi]
@@ -792,11 +802,16 @@ class LowRankConditionalGaussian(_StructuredConditionalBase):
         structure: LowRankCovariance,
         weights: Optional[Sequence[float]] = None,
         conditional: bool = True,
+        dtype=None,
     ):
-        self._d = structure._d.copy()
-        self._U = structure._U.copy()
-        self._M = structure._M.copy()
-        super().__init__(structure.size, structure.diagonal(), weights, conditional)
+        if dtype is None:
+            dtype = kernels.get_kernel_dtype()
+        self._d = structure._d.astype(dtype, copy=True)
+        self._U = structure._U.astype(dtype, copy=True)
+        self._M = structure._M.astype(dtype, copy=True)
+        super().__init__(
+            structure.size, structure.diagonal(), weights, conditional, dtype=dtype
+        )
 
     @property
     def rank(self) -> int:

@@ -201,14 +201,16 @@ class TestSweepEngine:
             "GreedyMinVar": GreedyMinVar(workload.query_function, calculator=calculator),
         }
         # A local closure cannot cross the process boundary; the engine must
-        # quietly compute the identical result serially.
-        parallel = run_budget_sweep(
-            workload.database,
-            algorithms,
-            lambda T: calculator.expected_variance(T),
-            budget_fractions=(0.3, 1.0),
-            max_workers=2,
-        )
+        # compute the identical result serially — and say so (the downgrade
+        # was silent before PR 7; now it names the unpicklable input).
+        with pytest.warns(RuntimeWarning, match="cannot cross a process boundary"):
+            parallel = run_budget_sweep(
+                workload.database,
+                algorithms,
+                lambda T: calculator.expected_variance(T),
+                budget_fractions=(0.3, 1.0),
+                max_workers=2,
+            )
         serial = run_budget_sweep(
             workload.database,
             algorithms,

@@ -211,3 +211,23 @@ class TestObjectives:
         a = [c.as_row() for c in serial.cells]
         b = [c.as_row() for c in pooled.cells]
         assert a == b
+
+    def test_forced_pool_matches_serial_across_workloads(self):
+        # parallel="forced" must actually shard through the pool (even with a
+        # single usable CPU) and reassemble cells in workload order.
+        serial = small_matrix(parallel="off").run()
+        forced = small_matrix(parallel="forced", max_workers=2).run()
+        a = [c.as_row() for c in serial.cells]
+        b = [c.as_row() for c in forced.cells]
+        assert a == b
+        assert forced.meta["parallel"] == "forced"
+        assert serial.meta["parallel"] == "off"
+
+    def test_auto_without_workers_stays_serial(self):
+        result = small_matrix(workloads="fairness_normal_chain").run()
+        assert result.meta["parallel"] == "auto"
+        assert result.meta["max_workers"] is None
+
+    def test_invalid_parallel_mode_raises(self):
+        with pytest.raises(ValueError, match="parallel"):
+            small_matrix(parallel="eager")

@@ -1,0 +1,198 @@
+"""Process-boundary contracts: what the pools ship must round-trip pickle.
+
+The sweep engine and the scenario matrix push work through
+``ProcessPoolExecutor``; everything they submit — databases, structured
+covariances, objectives — must survive ``pickle`` and behave identically on
+the other side.  These tests pin that, plus the two fallback policies when
+inputs *cannot* cross the boundary: ``parallel="auto"`` downgrades with a
+``RuntimeWarning`` naming the failure, ``parallel="forced"`` raises
+:class:`~repro.experiments.parallel.ParallelExecutionError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.claims.functions import LinearClaim
+from repro.core.greedy import GreedyMinVar
+from repro.datasets.synthetic import generate_urx
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    chunk_ranges,
+    machine_workers,
+    resolve_max_workers,
+)
+from repro.experiments.sweeps import LinearVarianceObjective, run_budget_sweep
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.structured import (
+    BandedCovariance,
+    BlockDiagonalCovariance,
+    LowRankCovariance,
+)
+
+
+def _roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+class TestStructuredCovariancePickling:
+    def _structures(self):
+        rng = np.random.default_rng(3)
+        stds = rng.uniform(1.0, 5.0, 12)
+        return [
+            BandedCovariance.from_moving_average(stds, bandwidth=3, rho=0.7),
+            BlockDiagonalCovariance.from_equicorrelated(stds, block_size=4, rho=0.5),
+            LowRankCovariance(stds**2, rng.normal(0.0, 1.0, (12, 2))),
+        ]
+
+    def test_linear_algebra_survives_roundtrip(self):
+        rng = np.random.default_rng(4)
+        vector = rng.standard_normal(12)
+        for structure in self._structures():
+            clone = _roundtrip(structure)
+            assert clone.size == structure.size
+            assert clone.kind == structure.kind
+            assert clone.nbytes == structure.nbytes
+            np.testing.assert_array_equal(clone.diagonal(), structure.diagonal())
+            np.testing.assert_array_equal(clone.matvec(vector), structure.matvec(vector))
+
+    def test_engines_behave_identically_after_roundtrip(self):
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(-1.0, 1.0, 12)
+        for structure in self._structures():
+            original = structure.engine(weights)
+            restored = _roundtrip(structure).engine(weights)
+            np.testing.assert_allclose(restored.gains(), original.gains(), atol=1e-12)
+            for index in (1, 6, 9):
+                original.condition_on(index)
+                restored.condition_on(index)
+                np.testing.assert_allclose(
+                    restored.gains(), original.gains(), atol=1e-12
+                )
+
+
+class TestDatabasePickling:
+    def test_from_normal_arrays_roundtrip(self):
+        rng = np.random.default_rng(6)
+        database = UncertainDatabase.from_normal_arrays(
+            current_values=rng.uniform(10.0, 90.0, 15),
+            stds=rng.uniform(1.0, 8.0, 15),
+            costs=rng.uniform(1.0, 4.0, 15),
+            means=rng.uniform(10.0, 90.0, 15),
+        )
+        clone = _roundtrip(database)
+        assert len(clone) == len(database)
+        assert clone.total_cost == database.total_cost
+        np.testing.assert_array_equal(clone.current_values, database.current_values)
+        np.testing.assert_array_equal(clone.stds, database.stds)
+        np.testing.assert_array_equal(clone.costs, database.costs)
+        np.testing.assert_array_equal(clone.means, database.means)
+
+    def test_lazy_objects_materialize_after_roundtrip(self):
+        # from_normal_arrays defers per-object materialization; pickling must
+        # not freeze a half-built object list on the worker side.
+        database = UncertainDatabase.from_normal_arrays(
+            current_values=[1.0, 2.0, 3.0], stds=[0.1, 0.2, 0.3], prefix="row"
+        )
+        clone = _roundtrip(database)
+        assert clone[1].name == database[1].name == "row1"
+        assert clone[2].current_value == 3.0
+
+    def test_objective_roundtrip_computes_identically(self):
+        database = generate_urx(n=18, seed=9)
+        claim = LinearClaim({i: 1.0 + 0.05 * i for i in range(18)})
+        objective = LinearVarianceObjective(database, claim.weights(18))
+        clone = _roundtrip(objective)
+        for selection in [(), (0, 3), tuple(range(10))]:
+            assert clone(selection) == objective(selection)
+
+
+class TestParallelPolicies:
+    def test_forced_mode_raises_on_unpicklable_inputs(self):
+        database = generate_urx(n=12, seed=1)
+        claim = LinearClaim({i: 1.0 for i in range(12)})
+        objective = LinearVarianceObjective(database, claim.weights(12))
+        with pytest.raises(ParallelExecutionError, match="process boundary"):
+            run_budget_sweep(
+                database,
+                {"GreedyMinVar": GreedyMinVar(claim)},
+                lambda T: objective(T),  # a closure cannot be pickled
+                budget_fractions=(0.5,),
+                parallel="forced",
+            )
+
+    def test_auto_mode_warns_and_matches_serial(self):
+        database = generate_urx(n=12, seed=1)
+        claim = LinearClaim({i: 1.0 for i in range(12)})
+        other = LinearClaim({i: 1.0 + 0.2 * i for i in range(12)})
+        objective = LinearVarianceObjective(database, claim.weights(12))
+        algorithms = {
+            "GreedyMinVar": GreedyMinVar(claim),
+            "GreedyMinVarSteep": GreedyMinVar(other),
+        }
+        with pytest.warns(RuntimeWarning, match="cannot cross a process boundary"):
+            downgraded = run_budget_sweep(
+                database,
+                algorithms,
+                lambda T: objective(T),
+                budget_fractions=(0.3, 0.8),
+                max_workers=2,
+            )
+        serial = run_budget_sweep(
+            database, algorithms, objective, budget_fractions=(0.3, 0.8), parallel="off"
+        )
+        assert downgraded.series == serial.series
+        assert downgraded.selections == serial.selections
+
+    def test_forced_mode_runs_pool_with_picklable_inputs(self):
+        # Even on a 1-CPU machine, forced mode must actually cross the
+        # process boundary and come back with the serial answer.
+        database = generate_urx(n=12, seed=2)
+        claim = LinearClaim({i: 1.0 + 0.1 * i for i in range(12)})
+        objective = LinearVarianceObjective(database, claim.weights(12))
+        algorithms = {"GreedyMinVar": GreedyMinVar(claim)}
+        forced = run_budget_sweep(
+            database, algorithms, objective, budget_fractions=(0.5,), parallel="forced"
+        )
+        serial = run_budget_sweep(
+            database, algorithms, objective, budget_fractions=(0.5,), parallel="off"
+        )
+        assert forced.series == serial.series
+
+    def test_invalid_parallel_mode_raises(self):
+        database = generate_urx(n=8, seed=0)
+        with pytest.raises(ValueError, match="parallel"):
+            run_budget_sweep(
+                database, {}, lambda T: 0.0, budget_fractions=(0.5,), parallel="eager"
+            )
+
+
+class TestWorkerSizing:
+    def test_machine_workers_is_positive(self):
+        assert machine_workers() >= 1
+
+    def test_resolve_none_and_auto_size_to_machine(self):
+        assert resolve_max_workers(None) == machine_workers()
+        assert resolve_max_workers("auto") == machine_workers()
+        assert resolve_max_workers(" AUTO ") == machine_workers()
+
+    def test_resolve_int_passes_through_capped_by_tasks(self):
+        assert resolve_max_workers(4) == 4
+        assert resolve_max_workers(4, task_count=2) == 2
+        assert resolve_max_workers(1, task_count=0) == 1
+
+    def test_resolve_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            resolve_max_workers(0)
+        with pytest.raises(ValueError, match="max_workers"):
+            resolve_max_workers("sixteen")
+
+    def test_chunk_ranges_partition_exactly(self):
+        for count, workers in [(10, 2), (3, 8), (100, 4), (1, 1)]:
+            chunks = chunk_ranges(count, workers)
+            flattened = [i for chunk in chunks for i in chunk]
+            assert flattened == list(range(count))
+        assert chunk_ranges(0, 4) == []
