@@ -60,6 +60,9 @@ RULES = {
     "BENCH_tiers.json": [
         ("max_compiled_over_numpy_speedup", ">=", "compiled_speedup_floor"),
     ],
+    "BENCH_stream.json": [
+        ("speedup", ">=", "speedup_floor"),
+    ],
 }
 
 #: Environment facts every artifact must record (enforced for known
@@ -112,8 +115,8 @@ def write_baseline(bench_dir: Path) -> int:
 
     Three pytest invocations cover every artifact writer: the
     perf-regression suite (BENCH_kernels/sweeps/adaptive/dep), the tier grid
-    (BENCH_tiers) and the scale benchmark (BENCH_scale — ``scale``-marked,
-    so it must be selected explicitly against the default addopts).
+    (BENCH_tiers) and the ``scale``-marked benchmarks (BENCH_scale and
+    BENCH_stream — selected explicitly against the default addopts).
     """
     repo_root = bench_dir.parent
     environment = dict(os.environ)
@@ -124,7 +127,7 @@ def write_baseline(bench_dir: Path) -> int:
     )
     runs = [
         ["benchmarks/test_perf_regression.py", "benchmarks/test_tiers.py"],
-        ["benchmarks/test_scale.py", "-m", "scale"],
+        ["benchmarks/test_scale.py", "benchmarks/test_stream.py", "-m", "scale"],
     ]
     for selection in runs:
         command = [sys.executable, "-m", "pytest", "-q", *selection]

@@ -56,6 +56,7 @@ API_MODULES = [
     "repro.datasets",
     "repro.workloads",
     "repro.experiments",
+    "repro.streaming",
 ]
 
 _warnings: List[str] = []

@@ -387,6 +387,11 @@ class DecomposedEVCalculator:
         # Per-term transformed outer-sum grids for the linear fast path
         # (built lazily; None marks terms whose joint support is too large).
         self._term_grid_cache: Dict[int, Optional[Tuple]] = {}
+        # Standalone (empty-prefix) gain vector, shared with rebased children
+        # and patched entry-wise: a delta only re-prices objects whose terms
+        # or pairs the delta touched.
+        self._standalone_gains: Optional[np.ndarray] = None
+        self._stale_standalone: set = set()
 
     # -- single-term pieces ------------------------------------------------ #
     def _term_expected_variance(self, k: int, cleaned: FrozenSet[int]) -> float:
@@ -714,6 +719,94 @@ class DecomposedEVCalculator:
             gain -= 2.0 * self._pair_expected_covariance(k, l, relevant | {candidate})
         return float(gain)
 
+    def standalone_gains(self) -> np.ndarray:
+        """Read-only vector of ``marginal_gain(∅, i)`` for every object.
+
+        Built once and then patched entry-wise across :meth:`rebased` /
+        :meth:`condition` children: a delta marks stale exactly the objects
+        that share a term or pair with the changed object, so the streaming
+        engine re-prices a handful of entries per event instead of n.
+        """
+        n = len(self.database)
+        empty = frozenset()
+        if self._standalone_gains is None:
+            gains = np.array(
+                [self.marginal_gain(empty, i) for i in range(n)], dtype=float
+            )
+            gains.setflags(write=False)
+            self._standalone_gains = gains
+        elif self._stale_standalone:
+            gains = self._standalone_gains.copy()
+            for i in self._stale_standalone:
+                gains[i] = self.marginal_gain(empty, i)
+            gains.setflags(write=False)
+            self._standalone_gains = gains
+            self._stale_standalone = set()
+        return self._standalone_gains
+
+    def rebased(
+        self, database: UncertainDatabase, invalidated: Iterable[int] = ()
+    ) -> "DecomposedEVCalculator":
+        """Calculator re-pointed at ``database``, dropping pieces the given
+        objects invalidate.
+
+        The general form of :meth:`condition`: the term decomposition, the
+        inverted indexes, and the memo/grid entries of every term and pair
+        that references *none* of the ``invalidated`` objects are shared with
+        this calculator, while the affected pieces are dropped and recomputed
+        lazily against the new database.  Shared inner memo dicts are
+        extended in place by whichever calculator computes a piece first, so
+        a chain of rebased calculators (one per stream event) amortizes the
+        unaffected work across the whole stream.  A cost-only overlay passes
+        an empty ``invalidated`` and shares everything — expected variance
+        never reads costs.  The new database may be longer than the current
+        one (append overlays); appended objects are not referenced by any
+        existing term, so their standalone gains are zero until the measure
+        itself changes.
+        """
+        other = object.__new__(DecomposedEVCalculator)
+        other.database = database
+        other.measure = self.measure
+        other.vectorized = self.vectorized
+        other.terms = self.terms
+        other._base_values = database.current_values
+        other._interacting_pairs = self._interacting_pairs
+        other._terms_by_object = self._terms_by_object
+        other._pairs_by_object = self._pairs_by_object
+        other._pair_union_refs = self._pair_union_refs
+        variance_cache = dict(self._variance_cache)
+        grid_cache = dict(self._term_grid_cache)
+        covariance_cache = dict(self._covariance_cache)
+        affected: set = set()
+        for index in invalidated:
+            index = int(index)
+            affected.add(index)
+            for k in self._terms_by_object.get(index, ()):
+                variance_cache.pop(k, None)
+                grid_cache.pop(k, None)
+                affected |= self.terms[k].referenced_indices
+            for pair in self._pairs_by_object.get(index, ()):
+                covariance_cache.pop(pair, None)
+                affected |= self._pair_union_refs[pair]
+        other._variance_cache = variance_cache
+        other._covariance_cache = covariance_cache
+        other._term_grid_cache = grid_cache
+        if self._standalone_gains is not None:
+            previous = self._standalone_gains
+            stale = set(self._stale_standalone) | affected
+            if len(database) > previous.shape[0]:
+                extended = np.zeros(len(database), dtype=float)
+                extended[: previous.shape[0]] = previous
+                extended.setflags(write=False)
+                other._standalone_gains = extended
+            else:
+                other._standalone_gains = previous
+            other._stale_standalone = stale
+        else:
+            other._standalone_gains = None
+            other._stale_standalone = set()
+        return other
+
     def condition(self, index: int, value: float) -> "DecomposedEVCalculator":
         """Calculator for the database with object ``index`` revealed to ``value``.
 
@@ -730,29 +823,7 @@ class DecomposedEVCalculator:
         the from-scratch rebuild exactly.
         """
         index = int(index)
-        conditioned_db = self.database.conditioned(index, value)
-        other = object.__new__(DecomposedEVCalculator)
-        other.database = conditioned_db
-        other.measure = self.measure
-        other.vectorized = self.vectorized
-        other.terms = self.terms
-        other._base_values = conditioned_db.current_values
-        other._interacting_pairs = self._interacting_pairs
-        other._terms_by_object = self._terms_by_object
-        other._pairs_by_object = self._pairs_by_object
-        other._pair_union_refs = self._pair_union_refs
-        variance_cache = dict(self._variance_cache)
-        grid_cache = dict(self._term_grid_cache)
-        for k in self._terms_by_object.get(index, ()):
-            variance_cache.pop(k, None)
-            grid_cache.pop(k, None)
-        covariance_cache = dict(self._covariance_cache)
-        for pair in self._pairs_by_object.get(index, ()):
-            covariance_cache.pop(pair, None)
-        other._variance_cache = variance_cache
-        other._covariance_cache = covariance_cache
-        other._term_grid_cache = grid_cache
-        return other
+        return self.rebased(self.database.conditioned(index, value), (index,))
 
     @property
     def interacting_pairs(self) -> List[Tuple[int, int]]:

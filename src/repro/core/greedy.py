@@ -201,9 +201,17 @@ def greedy_select(
             return b
         return b / costs[index]
 
-    def record(index: int, gain: float) -> None:
+    def record(index: int, gain: float, remaining: Optional[float] = None) -> None:
         if record_steps is not None:
-            record_steps.append(SelectionStep(int(index), float(costs[index]), float(gain)))
+            if remaining is None:
+                # record() is called before `spent` is advanced, so the
+                # remaining budget after this pick is one addition away.
+                remaining = budget - (spent + costs[index])
+            record_steps.append(
+                SelectionStep(
+                    int(index), float(costs[index]), float(gain), float(remaining)
+                )
+            )
 
     def sampled(candidates: np.ndarray) -> np.ndarray:
         if sample_size is None or candidates.size <= sample_size:
@@ -361,8 +369,15 @@ def greedy_select(
                 if stop:
                     taken = order[:stop]
                     if record_steps is not None:
-                        for i in taken:
-                            record(int(i), float(static[i]))
+                        # `spent` is only advanced after the whole bulk
+                        # accept, so per-item remaining budgets come from the
+                        # same cumulative sums that gated the accept.
+                        for position, i in enumerate(taken):
+                            record(
+                                int(i),
+                                float(static[i]),
+                                budget - float(cumulative[position]),
+                            )
                     selected.extend(int(i) for i in taken)
                     selected_set.update(int(i) for i in taken)
                     spent = float(cumulative[stop - 1])
@@ -474,7 +489,14 @@ class RandomSelector(ResumableSolver):
                 continue
             if spent + costs[i] <= budget + 1e-9:
                 if record_steps is not None:
-                    record_steps.append(SelectionStep(int(i), float(costs[i]), 0.0))
+                    record_steps.append(
+                        SelectionStep(
+                            int(i),
+                            float(costs[i]),
+                            0.0,
+                            float(budget - (spent + costs[i])),
+                        )
+                    )
                 selected.append(int(i))
                 chosen.add(int(i))
                 spent += costs[i]
@@ -736,9 +758,10 @@ class GreedyMinVar(ResumableSolver):
                 neighbours[i].update(members)
 
         # Standalone (empty-set) gains double as the safeguard inputs below.
-        standalone_gains = np.array(
-            [calculator.marginal_gain(_EMPTY_SET, i) for i in range(n)], dtype=float
-        )
+        # The calculator memoizes (and patches across rebased children) this
+        # vector, so a warm-started streaming re-solve pays for a handful of
+        # stale entries, not n.
+        standalone_gains = calculator.standalone_gains()
         selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
         selected_set: Set[int] = set(selected)
         selected_frozen = frozenset(selected_set)
@@ -766,7 +789,14 @@ class GreedyMinVar(ResumableSolver):
                 break
             best = int(np.argmax(ratios))
             if record_steps is not None:
-                record_steps.append(SelectionStep(best, float(costs[best]), float(gains[best])))
+                record_steps.append(
+                    SelectionStep(
+                        best,
+                        float(costs[best]),
+                        float(gains[best]),
+                        float(budget - (spent + costs[best])),
+                    )
+                )
             selected.append(best)
             selected_set.add(best)
             selected_frozen = selected_frozen | {best}
@@ -961,9 +991,15 @@ class GreedyDep(ResumableSolver):
         lazy: bool = False,
         stochastic_epsilon: Optional[float] = None,
         stochastic_rng: Optional[np.random.Generator] = None,
+        warm_engine=None,
     ):
         if not function.is_linear():
             raise TypeError("GreedyDep requires a linear query function")
+        if warm_engine is not None and not incremental:
+            raise ValueError(
+                "warm_engine applies to the incremental engine loop; pass "
+                "incremental=True with it"
+            )
         if lazy and incremental:
             raise ValueError(
                 "lazy=True applies to the scratch per-candidate loop; pass "
@@ -986,6 +1022,14 @@ class GreedyDep(ResumableSolver):
         self.lazy = bool(lazy)
         self.stochastic_epsilon = stochastic_epsilon
         self.stochastic_rng = stochastic_rng
+        #: Optional pre-conditioned engine the incremental loop clones
+        #: instead of building one from the model: the streaming planner's
+        #: warm-start hook.  The caller guarantees the engine carries the
+        #: same weights and ``conditional`` mode as this solver and is
+        #: already conditioned on every out-of-band reveal — each run then
+        #: costs ``engine.copy()`` plus the loop's own downdates, never a
+        #: fresh O(n^2) covariance build.
+        self.warm_engine = warm_engine
         if stochastic_epsilon is not None:
             self.supports_trace = False
             self.sweep_with_trace = False
@@ -1026,8 +1070,11 @@ class GreedyDep(ResumableSolver):
         """
         n = len(database)
         costs = database.costs
-        weights = self.function.weights(n)
-        engine = self.model.engine(weights, conditional=self.conditional)
+        if self.warm_engine is not None:
+            engine = self.warm_engine.copy()
+        else:
+            weights = self.function.weights(n)
+            engine = self.model.engine(weights, conditional=self.conditional)
         self.last_benefit_evaluations = None
         sample_size = None
         if self.stochastic_epsilon is not None:
@@ -1039,7 +1086,10 @@ class GreedyDep(ResumableSolver):
         standalone_gains = engine.gains()
         selected: List[int] = [int(i) for i in initial_selection] if initial_selection else []
         for index in selected:
-            engine.condition_on(index)
+            # A warm engine may already be conditioned on prefix members
+            # (out-of-band reveals that intersect the kept prefix).
+            if not engine.is_cleaned(index):
+                engine.condition_on(index)
         gains = engine.gains() if selected else standalone_gains.copy()
         feasible = np.ones(n, dtype=bool)
         if selected:
@@ -1063,11 +1113,19 @@ class GreedyDep(ResumableSolver):
             else:
                 best = int(np.argmax(ratios))
             if record_steps is not None:
-                record_steps.append(SelectionStep(best, float(costs[best]), float(gains[best])))
+                record_steps.append(
+                    SelectionStep(
+                        best,
+                        float(costs[best]),
+                        float(gains[best]),
+                        float(budget - (spent + costs[best])),
+                    )
+                )
             selected.append(best)
             feasible[best] = False
             spent += costs[best]
-            engine.condition_on(best)
+            if not engine.is_cleaned(best):
+                engine.condition_on(best)
             gains = engine.gains()
             ratios = np.where(feasible, gains / costs, -np.inf)
 

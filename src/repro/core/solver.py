@@ -82,12 +82,20 @@ class SelectionStep:
     selection time* (conditioned on everything selected before it) — for
     MinVar greedy the expected-variance reduction, for MaxPr the increase in
     the counterargument probability, for the static baselines the static
-    benefit.
+    benefit.  ``remaining_budget`` is what was left of the run's budget
+    *after* paying for this pick; solvers that predate the field (or
+    hand-built steps) may leave it ``None``.
     """
 
     index: int
     cost: float
     gain: float
+    remaining_budget: Optional[float] = None
+
+    @property
+    def marginal_gain(self) -> float:
+        """Alias for ``gain`` under the paper's name for the quantity."""
+        return self.gain
 
 
 # resume(prefix_indices, budget) -> the full selection at `budget`, continuing
@@ -156,7 +164,20 @@ class SelectionTrace:
         return self._resume(prefix, float(budget))
 
     def plan_at(self, budget: float, objective_value: Optional[float] = None) -> CleaningPlan:
-        """The :class:`CleaningPlan` at ``budget``, read from the trace."""
+        """The :class:`CleaningPlan` at ``budget``, read from the trace.
+
+        Raises ``ValueError`` when ``budget`` is below the first recorded
+        step's cost: an empty plan there is ambiguous (is the budget too
+        small, or was nothing worth cleaning?), so the caller must say which
+        they mean by querying :meth:`indices_at` / :meth:`prefix_at` directly
+        if an empty prefix is acceptable.
+        """
+        if self.steps and budget + _BUDGET_EPS < self.steps[0].cost:
+            raise ValueError(
+                f"budget {budget:g} is below the first step's cost "
+                f"{self.steps[0].cost:g}; use indices_at/prefix_at if an "
+                "empty selection is acceptable"
+            )
         return CleaningPlan.from_indices(
             self.database,
             self.indices_at(budget),
@@ -178,6 +199,7 @@ class SelectionTrace:
                     "cost": step.cost,
                     "gain": step.gain,
                     "cumulative_cost": cumulative,
+                    "remaining_budget": step.remaining_budget,
                 }
             )
         return rows

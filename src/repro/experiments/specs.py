@@ -238,3 +238,68 @@ def _figure12(args: argparse.Namespace) -> str:
 def _counters(args: argparse.Namespace) -> str:
     result = figures.counters_case_study(args.dataset, seed=args.seed)
     return format_rows(result.as_rows(), title="Section 4.3 case study: counterargument discovery")
+
+
+@register_experiment(
+    name="stream",
+    description="Streaming re-planning: synthesize or replay an event journal",
+    arguments=[
+        argument("action", choices=["replay", "synth"], help="replay a journal (timing + divergence) or just synthesize one"),
+        argument("--n", type=int, default=200, help="base database size (URx synthetic)"),
+        argument("--events", type=int, default=50, help="journal length when synthesizing"),
+        argument("--seed", type=int, default=0, help="journal synthesis seed"),
+        argument("--gamma", type=float, default=40.0, help="claim threshold of the uniqueness workload"),
+        argument("--budget-fraction", type=float, default=0.15, help="budget as a fraction of total cost"),
+        argument("--journal", default=None, help="JSONL journal path to read (replay) or write (synth)"),
+        argument("--json-out", default=None, help="write the full replay result as JSON here"),
+        argument("--no-cold", action="store_true", help="skip the per-event cold-solve comparison"),
+    ],
+)
+def _stream(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.datasets.synthetic import generate_urx
+    from repro.experiments.workloads import uniqueness_workload
+    from repro.streaming import (
+        Journal,
+        StreamingPlanner,
+        replay_journal,
+        synthesize_journal,
+    )
+
+    workload = uniqueness_workload(
+        generate_urx(args.n, args.seed), window_width=4, gamma=args.gamma
+    )
+    database = workload.database
+    if args.action == "synth" or args.journal is None:
+        journal = synthesize_journal(database, args.events, seed=args.seed)
+        if args.action == "synth":
+            path = args.journal or "journal.jsonl"
+            journal.to_jsonl(path)
+            return f"wrote {len(journal)} events to {path} ({journal!r})"
+    else:
+        journal = Journal.from_jsonl(args.journal)
+
+    budget = args.budget_fraction * database.total_cost
+
+    def factory() -> StreamingPlanner:
+        fresh = uniqueness_workload(
+            generate_urx(args.n, args.seed), window_width=4, gamma=args.gamma
+        )
+        return StreamingPlanner(fresh.database, fresh.query_function, budget=budget)
+
+    result = replay_journal(journal, factory, compare_cold=not args.no_cold)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+    lines = [
+        f"replayed {len(journal)} events on n={args.n} (budget={budget:.3g})",
+        f"warm total: {result.warm_seconds:.4f}s across {result.warm_solves} warm solves "
+        f"+ {result.cold_fallbacks} cold fallbacks",
+    ]
+    if not args.no_cold:
+        lines.append(f"cold total: {result.cold_seconds:.4f}s  (speedup {result.speedup:.2f}x)")
+        lines.append(f"divergence: {result.divergence_summary()}")
+    if args.json_out:
+        lines.append(f"full result written to {args.json_out}")
+    return "\n".join(lines)

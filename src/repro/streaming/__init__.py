@@ -1,0 +1,56 @@
+"""Streaming re-planning engine: event journals and warm-started re-solves.
+
+Real fact-checking data arrives continuously — values get revealed
+out-of-band, cleaning costs drift, objects appear and disappear — while
+the paper's algorithms plan once against a frozen
+:class:`~repro.uncertainty.database.UncertainDatabase`.  This package
+closes the gap without giving up exactness:
+
+* :mod:`repro.streaming.events` — the append-only event model: four
+  frozen dataclass events (``reveal``, ``cost_change``, ``insert``,
+  ``remove``), a :class:`~repro.streaming.events.Journal` with JSONL
+  persistence, and a deterministic journal synthesizer.
+* :mod:`repro.streaming.planner` — the
+  :class:`~repro.streaming.planner.StreamingPlanner`: maintains a live
+  cleaning plan across events by keeping the still-valid affordable
+  prefix of the previous solve, replaying it through the solver's own
+  ``resume`` machinery, and reusing the conditioned
+  :class:`~repro.core.expected_variance.DecomposedEVCalculator` /
+  :class:`~repro.uncertainty.correlation.ConditionalGaussian` state
+  instead of rebuilding it, with a cold-solve fallback when a delta
+  invalidates everything.
+* :mod:`repro.streaming.replay` — the deterministic replay harness
+  behind the ``repro stream replay`` CLI subcommand: re-runs a journal,
+  timing each incremental re-solve against a from-scratch solve and
+  recording plan-divergence metrics.
+"""
+
+from repro.streaming.events import (
+    CostChangeEvent,
+    InsertEvent,
+    Journal,
+    RemoveEvent,
+    RevealEvent,
+    StreamEvent,
+    event_from_dict,
+    event_to_dict,
+    synthesize_journal,
+)
+from repro.streaming.planner import StreamingPlanner
+from repro.streaming.replay import ReplayResult, plan_signature, replay_journal
+
+__all__ = [
+    "CostChangeEvent",
+    "InsertEvent",
+    "Journal",
+    "RemoveEvent",
+    "RevealEvent",
+    "StreamEvent",
+    "event_from_dict",
+    "event_to_dict",
+    "synthesize_journal",
+    "StreamingPlanner",
+    "ReplayResult",
+    "plan_signature",
+    "replay_journal",
+]

@@ -1,0 +1,466 @@
+"""The warm-starting streaming planner.
+
+:class:`StreamingPlanner` keeps a cleaning plan *live* while
+:mod:`~repro.streaming.events` arrive.  Each event is folded into the
+state as a cheap delta — a :meth:`~repro.uncertainty.database.
+UncertainDatabase.conditioned` / :meth:`~repro.uncertainty.database.
+UncertainDatabase.with_cost` / :meth:`~repro.uncertainty.database.
+UncertainDatabase.with_appended` overlay of the *root* database plus a
+rank-one engine downdate or a piece-local calculator invalidation — and
+the plan is then repaired, not recomputed:
+
+1. **Keep the still-valid prefix.**  The previous solve's
+   :class:`~repro.core.solver.SelectionStep` log is walked and truncated
+   at the first step the delta could have displaced.  For the modular
+   (linear, independent-errors) track the test is a ratio threshold — a
+   step survives while its benefit/cost key strictly beats every changed
+   key, which is exact because the remaining keys and the prefix's spend
+   are untouched.  For the decomposed (claim-quality) track the test is
+   a verify-walk — only objects sharing a perturbation term or an
+   interacting pair with the changed object can have moved (Theorem
+   3.8's locality), so each kept step only has to beat the best
+   *affected* challenger at the same loop state.  Both rules truncate
+   conservatively on ties: a shorter prefix never changes the answer,
+   it only does a little more resume work.
+2. **Resume through the solver's own machinery.**  The kept prefix is
+   handed to the solver's ``_run(initial_selection=...)`` hook — the
+   same code path :class:`~repro.core.solver.SelectionTrace` read-backs
+   use — which rebuilds the loop state conditioned on the prefix and
+   continues exactly as a from-scratch run would, single-item safeguard
+   included.  Warm and cold solves therefore return identical
+   selections (the equivalence the streaming tests pin down).
+3. **Reuse the conditioning state.**  The decomposed track keeps one
+   :class:`~repro.core.expected_variance.DecomposedEVCalculator` alive
+   across events via :meth:`~repro.core.expected_variance.
+   DecomposedEVCalculator.rebased` (memoized pieces survive every event
+   that does not touch their objects); the dependency track keeps one
+   :class:`~repro.uncertainty.correlation.ConditionalGaussian` updated
+   by rank-one downdates and hands it to
+   :class:`~repro.core.greedy.GreedyDep` as its ``warm_engine``.
+
+The **cold-solve fallback** is automatic: an event that invalidates
+everything (an ``insert`` on the dependency track — appending a row and
+column to a conditioned covariance is a rebuild, not a downdate) resets
+the engine from scratch and the planner reports ``mode="cold"`` for
+that step.  Correlations can re-rank *any* candidate after a reveal, so
+the dependency track never keeps a prefix — its warmness is the reused
+engine, which is where the paper's cost lives (the O(n^2)-per-step
+covariance work), not the Python loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.claims.functions import ClaimFunction, LinearClaim
+from repro.core.expected_variance import (
+    DecomposedEVCalculator,
+    linear_expected_variance,
+)
+from repro.core.greedy import GreedyDep, GreedyMinVar
+from repro.core.solver import SelectionStep
+from repro.streaming.events import (
+    CostChangeEvent,
+    InsertEvent,
+    RemoveEvent,
+    RevealEvent,
+    StreamEvent,
+)
+from repro.uncertainty.correlation import GaussianWorldModel, conditional_covariance
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.distributions import NormalSpec
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["StreamingPlanner"]
+
+_EPS = 1e-9
+_EMPTY = frozenset()
+
+
+class StreamingPlanner:
+    """Maintains a live cleaning plan across an event stream.
+
+    Parameters
+    ----------
+    database:
+        The initial uncertain database.  Every event is applied as an
+        overlay against this root, so a long stream never copies it.
+    function:
+        The claim function the budget is planned for.  A linear claim
+        selects the modular track (or, with ``model``, the dependency
+        track); a claim-quality measure selects the decomposed track.
+    budget:
+        The absolute cleaning budget every re-solve plans against.
+    track:
+        ``"modular"``, ``"decomposed"``, ``"dependency"`` or ``"auto"``
+        (dependency when ``model`` is given, modular for linear claims,
+        decomposed otherwise).
+    model:
+        The :class:`~repro.uncertainty.correlation.GaussianWorldModel`
+        for the dependency track (dense covariance; inserts extend it
+        block-diagonally, so structured models are not supported here).
+    conditional:
+        The dependency track's variance mode (Schur conditional vs
+        marginal), forwarded to :class:`~repro.core.greedy.GreedyDep`.
+    discretize_points:
+        Support size inserted objects are discretized to on the
+        decomposed track (matching ``UncertainObject.discretized``).
+    """
+
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        function: ClaimFunction,
+        budget: float,
+        track: str = "auto",
+        model: Optional[GaussianWorldModel] = None,
+        conditional: bool = True,
+        discretize_points: int = 6,
+    ):
+        if track == "auto":
+            if model is not None:
+                track = "dependency"
+            elif function.is_linear():
+                track = "modular"
+            else:
+                track = "decomposed"
+        if track not in ("modular", "decomposed", "dependency"):
+            raise ValueError(f"unknown track {track!r}")
+        if track == "dependency" and model is None:
+            raise ValueError("the dependency track needs a GaussianWorldModel")
+        if track == "modular" and not function.is_linear():
+            raise TypeError("the modular track needs a linear claim function")
+        self.track = track
+        self.database = database
+        self.function = function
+        self.budget = float(budget)
+        self.conditional = bool(conditional)
+        self.discretize_points = int(discretize_points)
+
+        self.events_applied = 0
+        self.warm_solves = 0
+        self.cold_solves = 0
+        self.last_mode = "init"
+        self.last_prefix_kept = 0
+
+        self._calculator: Optional[DecomposedEVCalculator] = None
+        self._engine = None
+        self._model: Optional[GaussianWorldModel] = None
+        self._base_cov: Optional[np.ndarray] = None
+        self._revealed: Dict[int, float] = {}
+        if track == "decomposed":
+            self._calculator = DecomposedEVCalculator(database, function)
+        elif track == "dependency":
+            self._model = model
+            self._base_cov = np.array(model.covariance, dtype=float)
+            weights = function.weights(len(database))
+            self._engine = model.engine(weights, conditional=self.conditional)
+
+        self._steps: List[SelectionStep] = []
+        self.plan: List[int] = []
+        self._solve(prefix_steps=[])
+        self.last_mode = "init"
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def apply(self, event: StreamEvent) -> Dict[str, object]:
+        """Fold one event into the state and repair the plan.
+
+        Returns a summary dict: the event ``kind``, the re-solve ``mode``
+        (``"warm"`` when a non-empty prefix survived, ``"replan"`` when
+        the prefix emptied but the conditioning state was reused,
+        ``"cold"`` when the state had to be rebuilt), how many prefix
+        steps were kept, and the new plan.
+        """
+        cold = False
+        if isinstance(event, RevealEvent):
+            prefix = self._apply_reveal(int(event.index), float(event.value))
+        elif isinstance(event, CostChangeEvent):
+            prefix = self._apply_cost_change(int(event.index), float(event.cost))
+        elif isinstance(event, InsertEvent):
+            prefix, cold = self._apply_insert(event)
+        elif isinstance(event, RemoveEvent):
+            prefix = self._apply_remove(int(event.index))
+        else:
+            raise TypeError(f"not a stream event: {event!r}")
+
+        self._solve(prefix_steps=prefix)
+        self.events_applied += 1
+        if cold:
+            self.cold_solves += 1
+            self.last_mode = "cold"
+        elif prefix:
+            self.warm_solves += 1
+            self.last_mode = "warm"
+        else:
+            self.warm_solves += 1
+            self.last_mode = "replan"
+        self.last_prefix_kept = len(prefix)
+        return {
+            "kind": event.kind,
+            "mode": self.last_mode,
+            "prefix_kept": self.last_prefix_kept,
+            "plan": list(self.plan),
+        }
+
+    def _apply_reveal(self, index: int, value: float) -> List[SelectionStep]:
+        self.database = self.database.conditioned(index, value)
+        if self.track == "decomposed":
+            self._calculator = self._calculator.rebased(self.database, (index,))
+            return self._decomposed_prefix({index})
+        if self.track == "dependency":
+            self._revealed[index] = value
+            if not self._engine.is_cleaned(index):
+                self._engine.condition_on(index)
+            return []
+        return self._modular_prefix({index}, threshold=0.0)
+
+    def _apply_cost_change(self, index: int, cost: float) -> List[SelectionStep]:
+        self.database = self.database.with_cost(index, cost)
+        if self.track == "decomposed":
+            # Expected variance never reads costs: no pieces invalidated,
+            # only the changed object's benefit/cost ratio moved.
+            self._calculator = self._calculator.rebased(self.database, ())
+            return self._decomposed_prefix({index})
+        if self.track == "dependency":
+            return []
+        weights = self.function.weights(len(self.database))
+        new_key = 0.0
+        if math.isfinite(cost):
+            new_key = float(
+                weights[index] ** 2 * self.database.variances[index] / cost
+            )
+        return self._modular_prefix({index}, threshold=new_key)
+
+    def _apply_insert(self, event: InsertEvent) -> Tuple[List[SelectionStep], bool]:
+        old_n = len(self.database)
+        obj = UncertainObject(
+            name=event.name,
+            current_value=float(event.current_value),
+            distribution=NormalSpec(float(event.mean), float(event.std)),
+            cost=float(event.cost),
+        )
+        if self.track == "decomposed" and self.database.all_discrete():
+            obj = obj.discretized(points=self.discretize_points)
+        self.database = self.database.with_appended([obj])
+
+        if self.track == "decomposed":
+            self._calculator = self._calculator.rebased(self.database, ())
+            return self._decomposed_prefix({old_n}), False
+
+        if float(event.weight) != 0.0 or self.track == "dependency":
+            old_weights = self.function.weights(old_n)
+            self.function = LinearClaim.from_vector(
+                np.append(old_weights, float(event.weight))
+            )
+
+        if self.track == "dependency":
+            # A new row/column cannot be folded into a conditioned
+            # covariance by a downdate: rebuild the engine from the
+            # extended base covariance and replay the reveals — the
+            # documented cold-solve fallback.
+            extended = np.zeros((old_n + 1, old_n + 1), dtype=float)
+            extended[:old_n, :old_n] = self._base_cov
+            extended[old_n, old_n] = float(event.std) ** 2
+            self._base_cov = extended
+            self._model = GaussianWorldModel(
+                self.database.current_values, extended, validate=False
+            )
+            weights = self.function.weights(old_n + 1)
+            self._engine = self._model.engine(weights, conditional=self.conditional)
+            for index in self._revealed:
+                self._engine.condition_on(index)
+            return [], True
+
+        weights = self.function.weights(old_n + 1)
+        new_key = float(
+            weights[old_n] ** 2 * self.database.variances[old_n] / event.cost
+        )
+        return self._modular_prefix(set(), threshold=new_key), False
+
+    def _apply_remove(self, index: int) -> List[SelectionStep]:
+        # Tombstone: reveal at the current value (variance contribution
+        # drops to zero) and price the object out forever.  Positions of
+        # every other object — and therefore every claim index — survive.
+        value = float(self.database.current_values[index])
+        self.database = self.database.conditioned(index, value).with_cost(
+            index, math.inf
+        )
+        if self.track == "decomposed":
+            self._calculator = self._calculator.rebased(self.database, (index,))
+            return self._decomposed_prefix({index})
+        if self.track == "dependency":
+            self._revealed[index] = value
+            if not self._engine.is_cleaned(index):
+                self._engine.condition_on(index)
+            return []
+        return self._modular_prefix({index}, threshold=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Prefix-validity rules
+    # ------------------------------------------------------------------ #
+    def _modular_prefix(
+        self, changed: Set[int], threshold: float
+    ) -> List[SelectionStep]:
+        """Steps of the last solve a modular delta provably cannot displace.
+
+        The modular greedy is a single descending benefit/cost walk, so a
+        recorded step stays the cold solve's next pick as long as (a) it is
+        not itself a changed object and (b) its key strictly beats every
+        changed object's *new* key — nothing can have been re-ranked above
+        it, and the prefix's spend is unchanged because kept costs are
+        unchanged.  Ties truncate (the cold walk breaks them by cost and
+        index, which is not worth re-deriving here).
+        """
+        kept: List[SelectionStep] = []
+        guard = threshold * (1.0 + 1e-12) + 1e-15
+        for step in self._steps:
+            if step.index in changed:
+                break
+            if step.cost <= 0 or step.gain / step.cost <= guard:
+                break
+            kept.append(step)
+        return kept
+
+    def _decomposed_prefix(self, changed: Set[int]) -> List[SelectionStep]:
+        """Steps of the last solve a decomposed delta provably cannot displace.
+
+        By Theorem 3.8's locality only the ``changed`` objects and their
+        term/pair neighbours can have moved, so the old step log is
+        *verified* in loop order: at each step the best affected-and-
+        affordable challenger is re-scored against the step's recorded
+        ratio (unaffected gains are bit-identical, the calculator memo
+        makes the challenger scores cache reads), and the walk truncates
+        at the first step that is itself affected or no longer provably
+        beats the challengers.
+        """
+        calculator = self._calculator
+        affected: Set[int] = set(changed)
+        for index in changed:
+            for k in calculator._terms_by_object.get(index, ()):
+                affected |= calculator.terms[k].referenced_indices
+            for pair in calculator._pairs_by_object.get(index, ()):
+                affected |= calculator._pair_union_refs[pair]
+        costs = self.database.costs
+        kept: List[SelectionStep] = []
+        selected: frozenset = _EMPTY
+        spent = 0.0
+        for step in self._steps:
+            if step.index in affected:
+                break
+            ratio = step.gain / step.cost if step.cost > 0 else math.inf
+            displaced = False
+            for candidate in affected:
+                if candidate in selected or candidate >= len(costs):
+                    continue
+                candidate_cost = float(costs[candidate])
+                if spent + candidate_cost > self.budget + _EPS:
+                    continue
+                challenger = (
+                    calculator.marginal_gain(selected, candidate) / candidate_cost
+                )
+                if challenger >= ratio * (1.0 - 1e-12) - 1e-18:
+                    displaced = True
+                    break
+            if displaced:
+                break
+            kept.append(step)
+            selected = selected | {step.index}
+            spent += step.cost
+        return kept
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def _solver(self):
+        if self.track == "decomposed":
+            return GreedyMinVar(self.function, calculator=self._calculator)
+        if self.track == "dependency":
+            return GreedyDep(
+                self.function,
+                self._model,
+                conditional=self.conditional,
+                warm_engine=self._engine,
+            )
+        return GreedyMinVar(self.function)
+
+    def _solve(self, prefix_steps: Sequence[SelectionStep]) -> None:
+        prefix = [step.index for step in prefix_steps]
+        new_steps: List[SelectionStep] = []
+        solver = self._solver()
+        result = solver._run(
+            self.database,
+            self.budget,
+            initial_selection=prefix,
+            record_steps=new_steps,
+        )
+        self.plan = [int(i) for i in result]
+        if prefix and self.plan[: len(prefix)] != prefix:
+            # The single-item safeguard replaced the greedy selection; the
+            # step log no longer describes the plan, so the next event
+            # starts from an empty prefix (correct, just less warm).
+            self._steps = []
+        else:
+            self._steps = list(prefix_steps) + new_steps
+
+    # ------------------------------------------------------------------ #
+    # Cold references (for the replay harness and the equivalence tests)
+    # ------------------------------------------------------------------ #
+    def cold_plan(self) -> List[int]:
+        """The plan a from-scratch solve on the current state produces.
+
+        Builds everything fresh — a new calculator on the decomposed
+        track, a new model from the reveal-conditioned covariance on the
+        dependency track — so timing this against :meth:`apply` measures
+        exactly what warm-starting saves.
+        """
+        if self.track == "dependency":
+            solver = GreedyDep(
+                self.function, self._cold_model(), conditional=self.conditional
+            )
+            return solver.select_indices(self.database, self.budget)
+        solver = GreedyMinVar(self.function)
+        return solver.select_indices(self.database, self.budget)
+
+    def _cold_model(self) -> GaussianWorldModel:
+        """The post-reveal world model, derived from the base covariance."""
+        n = len(self.database)
+        revealed = sorted(self._revealed)
+        if not revealed:
+            covariance = self._base_cov
+        elif self.conditional:
+            covariance = np.zeros((n, n), dtype=float)
+            remaining = [i for i in range(n) if i not in self._revealed]
+            if remaining:
+                reduced = conditional_covariance(self._base_cov, revealed)
+                covariance[np.ix_(remaining, remaining)] = reduced
+        else:
+            covariance = self._base_cov.copy()
+            covariance[revealed, :] = 0.0
+            covariance[:, revealed] = 0.0
+        return GaussianWorldModel(
+            self.database.current_values, covariance, validate=False
+        )
+
+    def objective(self, plan: Optional[Sequence[int]] = None) -> float:
+        """The post-cleaning objective value of ``plan`` (default: the live plan)."""
+        indices = list(self.plan if plan is None else plan)
+        if self.track == "decomposed":
+            return float(self._calculator.expected_variance(indices))
+        if self.track == "dependency":
+            engine = self._engine.copy()
+            for index in indices:
+                if not engine.is_cleaned(index):
+                    engine.condition_on(index)
+            return float(engine.variance())
+        weights = self.function.weights(len(self.database))
+        return float(linear_expected_variance(self.database, weights, indices))
+
+    @property
+    def steps(self) -> List[SelectionStep]:
+        """The step log describing the live plan (empty after a safeguard hit)."""
+        return list(self._steps)

@@ -1,0 +1,157 @@
+"""Deterministic journal replay with warm-vs-cold timing and divergence metrics.
+
+:func:`replay_journal` drives a :class:`~repro.streaming.planner.
+StreamingPlanner` through a :class:`~repro.streaming.events.Journal`
+event by event.  For every event it records the incremental re-solve's
+wall-clock time and mode and — unless disabled — times a from-scratch
+solve on the identical post-event state and compares the two plans
+(set-level Jaccard similarity, symmetric-difference size, objective
+values and their gap).  Everything the planner does is deterministic, so
+replaying the same journal twice produces byte-identical plan sequences;
+:func:`plan_signature` exposes exactly the bytes to compare.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.streaming.events import Journal
+from repro.streaming.planner import StreamingPlanner
+
+__all__ = ["ReplayResult", "replay_journal", "plan_signature"]
+
+
+@dataclass
+class ReplayResult:
+    """Everything one journal replay measured.
+
+    ``records`` has one dict per event: the event ``kind``, the planner's
+    re-solve ``mode`` and kept-prefix length, ``warm_seconds``, the warm
+    plan, and — when the cold comparison ran — ``cold_seconds``, the cold
+    plan, ``jaccard`` / ``symmetric_difference`` between the two, both
+    objective values and their absolute gap.  The totals summarize the
+    headline: how much wall-clock the warm path spent versus the per-event
+    cold solves, and their ratio (``speedup``).
+    """
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    warm_seconds: float = 0.0
+    cold_seconds: float = 0.0
+    cold_fallbacks: int = 0
+    warm_solves: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Cold wall-clock over warm wall-clock (``inf`` when warm cost nothing)."""
+        if self.warm_seconds <= 0.0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+    def plans(self) -> List[List[int]]:
+        """The warm plan after every event, in journal order."""
+        return [list(record["plan"]) for record in self.records]
+
+    def divergence_summary(self) -> Dict[str, float]:
+        """Aggregate plan-divergence metrics over the compared events."""
+        compared = [r for r in self.records if "jaccard" in r]
+        if not compared:
+            return {"events_compared": 0}
+        jaccards = [float(r["jaccard"]) for r in compared]
+        gaps = [float(r["objective_gap"]) for r in compared]
+        return {
+            "events_compared": len(compared),
+            "min_jaccard": min(jaccards),
+            "mean_jaccard": sum(jaccards) / len(jaccards),
+            "max_objective_gap": max(gaps),
+            "exact_plan_matches": sum(
+                1 for r in compared if r["plan"] == r["cold_plan"]
+            ),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``repro stream replay`` output)."""
+        return {
+            "metadata": dict(self.metadata),
+            "warm_seconds": self.warm_seconds,
+            "cold_seconds": self.cold_seconds,
+            "speedup": self.speedup,
+            "warm_solves": self.warm_solves,
+            "cold_fallbacks": self.cold_fallbacks,
+            "divergence": self.divergence_summary(),
+            "records": list(self.records),
+        }
+
+
+def plan_signature(result: ReplayResult) -> bytes:
+    """Canonical bytes of the per-event plan sequence.
+
+    Two replays of the same journal must produce equal signatures — the
+    determinism guarantee the acceptance tests check.  Wall-clock fields
+    are deliberately excluded; only the plans enter the signature.
+    """
+    return json.dumps(result.plans(), separators=(",", ":")).encode("ascii")
+
+
+def replay_journal(
+    journal: Journal,
+    planner_factory: Callable[[], StreamingPlanner],
+    compare_cold: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ReplayResult:
+    """Re-run ``journal`` through a fresh planner, measuring every event.
+
+    ``planner_factory`` builds the planner (fresh state per replay, so
+    repeated replays are independent and deterministic).  With
+    ``compare_cold`` a from-scratch solve runs after every event on the
+    same post-event state — the baseline the incremental path is measured
+    against; without it the replay only times the warm path (used for the
+    second leg of the byte-identity check, where cold solves would double
+    the runtime for no information).
+    """
+    planner = planner_factory()
+    result = ReplayResult(metadata=dict(journal.metadata))
+    result.metadata.setdefault("track", planner.track)
+    for event in journal:
+        started = clock()
+        info = planner.apply(event)
+        warm_elapsed = clock() - started
+        record: Dict[str, object] = {
+            "kind": info["kind"],
+            "mode": info["mode"],
+            "prefix_kept": info["prefix_kept"],
+            "warm_seconds": warm_elapsed,
+            "plan": list(info["plan"]),
+        }
+        result.warm_seconds += warm_elapsed
+        if info["mode"] == "cold":
+            result.cold_fallbacks += 1
+        else:
+            result.warm_solves += 1
+        if compare_cold:
+            started = clock()
+            cold = planner.cold_plan()
+            cold_elapsed = clock() - started
+            warm_set, cold_set = set(planner.plan), set(cold)
+            union = warm_set | cold_set
+            warm_objective = planner.objective()
+            cold_objective = planner.objective(cold)
+            record.update(
+                {
+                    "cold_seconds": cold_elapsed,
+                    "cold_plan": list(cold),
+                    "jaccard": (
+                        len(warm_set & cold_set) / len(union) if union else 1.0
+                    ),
+                    "symmetric_difference": len(warm_set ^ cold_set),
+                    "objective_warm": warm_objective,
+                    "objective_cold": cold_objective,
+                    "objective_gap": abs(warm_objective - cold_objective),
+                }
+            )
+            result.cold_seconds += cold_elapsed
+        result.records.append(record)
+    return result

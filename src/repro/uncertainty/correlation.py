@@ -272,6 +272,11 @@ class ConditionalGaussian:
         """Cleaned object indices, in conditioning order."""
         return list(self._cleaned)
 
+    def is_cleaned(self, index: int) -> bool:
+        """True if ``index`` was already conditioned on (``condition_on``
+        raises for such indices, so warm-started callers check first)."""
+        return bool(self._cleaned_mask[int(index)])
+
     @property
     def matrix(self) -> np.ndarray:
         """The working covariance (cleaned rows/columns zeroed).  Do not mutate.

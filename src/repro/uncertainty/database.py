@@ -20,7 +20,14 @@ exposes:
   *reveal overlay* — shared name index and cost vector, numpy-copied stat
   vectors with the reveal applied, and an object list materialized lazily —
   which is what the adaptive policies use so that a k-step run costs k small
-  deltas instead of k full rebuilds.
+  deltas instead of k full rebuilds;
+* non-reveal overlays for the streaming engine:
+  :meth:`UncertainDatabase.with_cost` (replace one object's cleaning cost)
+  and :meth:`UncertainDatabase.with_appended` (append new objects) share the
+  root's arrays the same GC-able way ``conditioned()`` does — every overlay,
+  whatever the mix of reveals / cost changes / appends, references the *root*
+  database plus one accumulated delta, so a long event stream never copies
+  the database and never pins intermediate overlays.
 """
 
 from __future__ import annotations
@@ -59,12 +66,16 @@ class UncertainDatabase:
         # Array-backed databases (`from_normal_arrays`) carry a name prefix
         # instead of an object list; None means object-backed.
         self._array_prefix: Optional[str] = None
-        # Reveal-overlay state.  A plain database is its own base; an overlay
-        # built by `conditioned` references the *root* database (never an
-        # intermediate overlay, so chains of reveals don't pin dead overlays)
-        # plus the accumulated {index: revealed value} delta.
+        # Overlay state.  A plain database is its own base; an overlay built
+        # by `conditioned` / `with_cost` / `with_appended` references the
+        # *root* database (never an intermediate overlay, so chains of deltas
+        # don't pin dead overlays) plus the accumulated deltas: the
+        # {index: revealed value} reveals, the {index: new cost} cost
+        # overrides, and the tuple of appended objects.
         self._overlay_base: Optional["UncertainDatabase"] = None
         self._overlay_delta: Dict[int, float] = {}
+        self._overlay_costs: Dict[int, float] = {}
+        self._overlay_appended: Tuple[UncertainObject, ...] = ()
         self._overlay_objects: Dict[int, UncertainObject] = {}
         # Objects are immutable (frozen dataclasses), so the vector views can
         # be materialized once and shared.  They are marked read-only; callers
@@ -140,6 +151,8 @@ class UncertainDatabase:
         database._index_by_name = None
         database._overlay_base = None
         database._overlay_delta = {}
+        database._overlay_costs = {}
+        database._overlay_appended = ()
         database._overlay_objects = {}
         database._array_prefix = str(prefix)
         database._current_values = cls._frozen(current)
@@ -164,11 +177,20 @@ class UncertainDatabase:
     def _name_index(self) -> Dict[str, int]:
         """The name -> position index, built lazily for array-backed databases."""
         if self._index_by_name is None:
-            self._index_by_name = {f"{self._array_prefix}{i}": i for i in range(len(self))}
+            if self._overlay_appended:
+                index = dict(self._overlay_base._name_index())
+                offset = len(self._overlay_base)
+                for position, obj in enumerate(self._overlay_appended):
+                    index[obj.name] = offset + position
+                self._index_by_name = index
+            else:
+                self._index_by_name = {
+                    f"{self._array_prefix}{i}": i for i in range(len(self))
+                }
         return self._index_by_name
 
     # ------------------------------------------------------------------ #
-    # Reveal overlays (incremental conditioning)
+    # Overlays (incremental conditioning, cost changes, appends)
     # ------------------------------------------------------------------ #
     @property
     def _objects(self) -> List[UncertainObject]:
@@ -176,59 +198,116 @@ class UncertainDatabase:
         if self._objects_list is None:
             if self._overlay_base is not None:
                 materialized = list(self._overlay_base._objects)
-                for index in self._overlay_delta:
-                    materialized[index] = self._revealed_object(index)
+                materialized.extend(self._overlay_appended)
+                for index in set(self._overlay_delta) | set(self._overlay_costs):
+                    materialized[index] = self._overlay_object(index)
             else:
                 materialized = [self._array_object(i) for i in range(len(self))]
             self._objects_list = materialized
         return self._objects_list
 
-    def _revealed_object(self, index: int) -> UncertainObject:
-        """The cleaned object an overlay exposes at a revealed position."""
+    def _overlay_object(self, index: int) -> UncertainObject:
+        """The object an overlay exposes at a revealed / re-costed position."""
         cached = self._overlay_objects.get(index)
         if cached is None:
-            cached = self._overlay_base[index].cleaned(self._overlay_delta[index])
+            base = self._overlay_base
+            if index < len(base):
+                cached = base[index]
+            else:
+                cached = self._overlay_appended[index - len(base)]
+            if index in self._overlay_delta:
+                cached = cached.cleaned(self._overlay_delta[index])
+            override = self._overlay_costs.get(index)
+            if override is not None:
+                cached = cached.with_cost(override)
             self._overlay_objects[index] = cached
         return cached
 
+    def _overlay_root(self) -> "UncertainDatabase":
+        """The root database a new overlay should reference (never an overlay)."""
+        return self._overlay_base if self._overlay_base is not None else self
+
     @classmethod
     def _make_overlay(
-        cls, base: "UncertainDatabase", delta: Dict[int, float]
+        cls,
+        base: "UncertainDatabase",
+        delta: Dict[int, float],
+        costs: Optional[Dict[int, float]] = None,
+        appended: Tuple[UncertainObject, ...] = (),
     ) -> "UncertainDatabase":
-        """Overlay of ``base`` with the reveals in ``delta`` applied.
+        """Overlay of ``base`` with reveals, cost overrides and appends applied.
 
-        Skips ``__init__`` entirely: the name index, cost vector and total
-        cost are shared with the base (reveals change neither), the four
-        per-object stat vectors are numpy copies with the revealed entries
-        overwritten, and the object list is left unmaterialized.
+        Skips ``__init__`` entirely and shares whatever the delta leaves
+        unchanged: with no appends the name index is shared and the stat
+        vectors are shared (cost-only overlays) or numpy-copied with the
+        revealed entries overwritten; the cost vector and total cost are
+        shared unless a cost override or an append touches them.  Appends
+        concatenate the appended objects' stats onto the base vectors.  The
+        object list is always left unmaterialized.
         """
+        costs = costs or {}
+        appended = tuple(appended)
         overlay = object.__new__(cls)
         overlay._objects_list = None
-        overlay._index_by_name = base._index_by_name
+        overlay._index_by_name = None if appended else base._index_by_name
         overlay._array_prefix = base._array_prefix
         overlay._overlay_base = base
         overlay._overlay_delta = delta
+        overlay._overlay_costs = costs
+        overlay._overlay_appended = appended
         overlay._overlay_objects = {}
-        indices = np.fromiter(delta.keys(), dtype=np.intp, count=len(delta))
-        values = np.fromiter(delta.values(), dtype=float, count=len(delta))
-        current = base._current_values.copy()
-        current[indices] = values
-        current.setflags(write=False)
-        means = base._means.copy()
-        means[indices] = values
-        means.setflags(write=False)
-        variances = base._variances.copy()
-        variances[indices] = 0.0
-        variances.setflags(write=False)
-        stds = base._stds.copy()
-        stds[indices] = 0.0
-        stds.setflags(write=False)
-        overlay._current_values = current
-        overlay._means = means
-        overlay._variances = variances
-        overlay._stds = stds
-        overlay._costs = base._costs
-        overlay._total_cost = base._total_cost
+        if appended:
+            current = np.concatenate(
+                [base._current_values, [obj.current_value for obj in appended]]
+            )
+            means = np.concatenate([base._means, [obj.mean for obj in appended]])
+            variances = np.concatenate([base._variances, [obj.variance for obj in appended]])
+            stds = np.concatenate([base._stds, [obj.std for obj in appended]])
+        elif delta:
+            current = base._current_values.copy()
+            means = base._means.copy()
+            variances = base._variances.copy()
+            stds = base._stds.copy()
+        else:
+            current = means = variances = stds = None
+        if delta:
+            indices = np.fromiter(delta.keys(), dtype=np.intp, count=len(delta))
+            values = np.fromiter(delta.values(), dtype=float, count=len(delta))
+            current[indices] = values
+            means[indices] = values
+            variances[indices] = 0.0
+            stds[indices] = 0.0
+        if current is None:
+            # Cost-only overlay: reveals and appends are absent, so the four
+            # stat vectors are exactly the base's — share them.
+            overlay._current_values = base._current_values
+            overlay._means = base._means
+            overlay._variances = base._variances
+            overlay._stds = base._stds
+        else:
+            for vector in (current, means, variances, stds):
+                vector.setflags(write=False)
+            overlay._current_values = current
+            overlay._means = means
+            overlay._variances = variances
+            overlay._stds = stds
+        if costs or appended:
+            if appended:
+                cost_vector = np.concatenate(
+                    [base._costs, [obj.cost for obj in appended]]
+                )
+            else:
+                cost_vector = base._costs.copy()
+            if costs:
+                cost_indices = np.fromiter(costs.keys(), dtype=np.intp, count=len(costs))
+                cost_values = np.fromiter(costs.values(), dtype=float, count=len(costs))
+                cost_vector[cost_indices] = cost_values
+            cost_vector.setflags(write=False)
+            overlay._costs = cost_vector
+            overlay._total_cost = float(cost_vector.sum())
+        else:
+            overlay._costs = base._costs
+            overlay._total_cost = base._total_cost
         return overlay
 
     def conditioned(self, index: int, value: float) -> "UncertainDatabase":
@@ -240,23 +319,86 @@ class UncertainDatabase:
         re-deriving the cached vectors: the overlay shares the base's name
         index and cost vector, copies the stat vectors with one entry
         overwritten, and materializes cleaned objects lazily.  Conditioning
-        an overlay extends its delta against the same root database, so a
-        chain of k reveals holds one root reference and a k-entry delta —
-        intermediate overlays are garbage-collectable.
+        an overlay extends its delta against the same root database (cost
+        overrides and appends carry over), so a chain of k reveals holds one
+        root reference and a k-entry delta — intermediate overlays are
+        garbage-collectable.
         """
         index = int(index)
         if not 0 <= index < len(self):
             raise IndexError(f"object index {index} out of range for n={len(self)}")
-        if self._overlay_base is None:
-            return self._make_overlay(self, {index: float(value)})
         delta = dict(self._overlay_delta)
         delta[index] = float(value)
-        return self._make_overlay(self._overlay_base, delta)
+        return self._make_overlay(
+            self._overlay_root(), delta, dict(self._overlay_costs), self._overlay_appended
+        )
+
+    def with_cost(self, index: int, cost: float) -> "UncertainDatabase":
+        """Database with object ``index``'s cleaning cost replaced — a cheap overlay.
+
+        The overlay shares the root's stat vectors outright (a cost change
+        touches no distribution) and copies only the cost vector.  Like
+        :meth:`conditioned`, stacking cost changes accumulates one delta
+        against the root database, so intermediate overlays stay
+        garbage-collectable.  ``math.inf`` is accepted and makes the object
+        permanently unaffordable — the streaming engine's tombstone for
+        removed objects.
+        """
+        index = int(index)
+        if not 0 <= index < len(self):
+            raise IndexError(f"object index {index} out of range for n={len(self)}")
+        cost = float(cost)
+        if not cost > 0:
+            raise ValueError(f"cleaning cost must be positive, got {cost}")
+        costs = dict(self._overlay_costs)
+        costs[index] = cost
+        return self._make_overlay(
+            self._overlay_root(), dict(self._overlay_delta), costs, self._overlay_appended
+        )
+
+    def with_appended(self, objects: Sequence[UncertainObject]) -> "UncertainDatabase":
+        """Database with ``objects`` appended at the end — a cheap overlay.
+
+        Existing objects keep their positions (claim functions reference
+        objects positionally, so appending never invalidates a claim), the
+        new objects take positions ``len(self) ..``, and the overlay
+        concatenates the root's stat vectors once instead of rebuilding n
+        objects.  Appending to an overlay accumulates against the root like
+        :meth:`conditioned` does.  Returns ``self`` unchanged for an empty
+        sequence.
+        """
+        objects = tuple(objects)
+        if not objects:
+            return self
+        new_names = [obj.name for obj in objects]
+        if len(set(new_names)) != len(new_names):
+            duplicates = sorted({n for n in new_names if new_names.count(n) > 1})
+            raise ValueError(f"duplicate appended object names: {duplicates}")
+        existing = self._name_index()
+        clashes = sorted(name for name in new_names if name in existing)
+        if clashes:
+            raise ValueError(f"appended object names already exist: {clashes}")
+        return self._make_overlay(
+            self._overlay_root(),
+            dict(self._overlay_delta),
+            dict(self._overlay_costs),
+            self._overlay_appended + objects,
+        )
 
     @property
     def revealed(self) -> Dict[int, float]:
         """The reveals this overlay applies to its base (empty for plain databases)."""
         return dict(self._overlay_delta)
+
+    @property
+    def cost_overrides(self) -> Dict[int, float]:
+        """The cost replacements this overlay applies (empty for plain databases)."""
+        return dict(self._overlay_costs)
+
+    @property
+    def appended_count(self) -> int:
+        """Number of objects this overlay appends to its root (0 for plain databases)."""
+        return len(self._overlay_appended)
 
     # ------------------------------------------------------------------ #
     # Basic container protocol
@@ -280,10 +422,13 @@ class UncertainDatabase:
                 index += len(self)
             if not 0 <= index < len(self):
                 raise IndexError(f"object index {key} out of range for n={len(self)}")
-            if index in self._overlay_delta:
-                return self._revealed_object(index)
+            if index in self._overlay_delta or index in self._overlay_costs:
+                return self._overlay_object(index)
             if self._overlay_base is not None:
-                return self._overlay_base[index]
+                base = self._overlay_base
+                if index >= len(base):
+                    return self._overlay_appended[index - len(base)]
+                return base[index]
             return self._array_object(index)
         return self._objects[key]
 
@@ -303,6 +448,12 @@ class UncertainDatabase:
         """Object names in positional order."""
         if self._objects_list is None and self._overlay_base is None:
             return [f"{self._array_prefix}{i}" for i in range(len(self))]
+        if self._objects_list is None and self._overlay_base is not None:
+            # Names are untouched by reveals and cost changes; answer from
+            # the base plus appends without materializing the object list.
+            return self._overlay_base.names + [
+                obj.name for obj in self._overlay_appended
+            ]
         return [obj.name for obj in self._objects]
 
     def index_of(self, name: str) -> int:
@@ -351,7 +502,11 @@ class UncertainDatabase:
         """True for array-backed databases with no reveals: every object is
         a :class:`NormalSpec` by construction, so the distribution-kind
         queries below can answer without materializing n objects."""
-        return self._array_prefix is not None and not self._overlay_delta
+        return (
+            self._array_prefix is not None
+            and not self._overlay_delta
+            and not self._overlay_appended
+        )
 
     def max_support_size(self) -> int:
         """Largest discrete support size among the objects (``V`` in Thm 3.8)."""

@@ -215,6 +215,26 @@ class TestSelectionTraceSurface:
         assert prefix == [trace.steps[0].index]
         assert spent == pytest.approx(first_cost)
 
+    def test_plan_at_rejects_budget_below_first_step(self, trace_and_workload):
+        trace, _, _ = trace_and_workload
+        too_small = trace.steps[0].cost / 2
+        with pytest.raises(ValueError, match="below the first step"):
+            trace.plan_at(too_small)
+        # The lower-level readers still answer with the empty selection.
+        prefix, spent = trace.prefix_at(too_small)
+        assert prefix == [] and spent == 0.0
+
+    def test_steps_record_remaining_budget(self, trace_and_workload):
+        trace, _, max_budget = trace_and_workload
+        cumulative = 0.0
+        for step in trace.steps:
+            cumulative += step.cost
+            assert step.remaining_budget is not None
+            assert step.remaining_budget == pytest.approx(max_budget - cumulative)
+            assert step.marginal_gain == step.gain
+        rows = trace.as_rows()
+        assert "remaining_budget" in rows[0]
+
 
 class TestSolverProtocol:
     def test_solve_accepts_problem_bundle(self):

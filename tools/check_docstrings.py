@@ -3,7 +3,8 @@
 
 Checks that every export of the public packages — ``repro.core``,
 ``repro.uncertainty``, ``repro.workloads``, ``repro.claims``,
-``repro.datasets``, ``repro.experiments`` — has a docstring whose first
+``repro.datasets``, ``repro.experiments``, ``repro.streaming`` — has a
+docstring whose first
 line is a one-line summary, and that the public methods/properties of
 exported classes are documented too (pydocstyle's D101/D102/D103 scope,
 without the dependency).
@@ -54,6 +55,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.workloads",
     "repro.experiments",
+    "repro.streaming",
 ]
 
 
