@@ -63,6 +63,13 @@ RULES = {
     "BENCH_stream.json": [
         ("speedup", ">=", "speedup_floor"),
     ],
+    "BENCH_resilience.json": [
+        ("checkpoint_overhead_ratio", "<=", "checkpoint_overhead_ceiling"),
+        ("recovery_seconds", "<=", "recovery_ceiling_seconds"),
+        ("resume_boundaries_verified", ">=", "resume_boundaries_required"),
+        ("sigkill_resume_identical", ">=", "sigkill_resume_required"),
+        ("chaos_plan_divergence", "<=", "chaos_divergence_ceiling"),
+    ],
 }
 
 #: Environment facts every artifact must record (enforced for known
@@ -115,8 +122,9 @@ def write_baseline(bench_dir: Path) -> int:
 
     Three pytest invocations cover every artifact writer: the
     perf-regression suite (BENCH_kernels/sweeps/adaptive/dep), the tier grid
-    (BENCH_tiers) and the ``scale``-marked benchmarks (BENCH_scale and
-    BENCH_stream — selected explicitly against the default addopts).
+    (BENCH_tiers) and the ``scale``-marked benchmarks (BENCH_scale,
+    BENCH_stream and BENCH_resilience — selected explicitly against the
+    default addopts).
     """
     repo_root = bench_dir.parent
     environment = dict(os.environ)
@@ -127,7 +135,13 @@ def write_baseline(bench_dir: Path) -> int:
     )
     runs = [
         ["benchmarks/test_perf_regression.py", "benchmarks/test_tiers.py"],
-        ["benchmarks/test_scale.py", "benchmarks/test_stream.py", "-m", "scale"],
+        [
+            "benchmarks/test_scale.py",
+            "benchmarks/test_stream.py",
+            "benchmarks/test_resilience.py",
+            "-m",
+            "scale",
+        ],
     ]
     for selection in runs:
         command = [sys.executable, "-m", "pytest", "-q", *selection]

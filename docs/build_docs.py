@@ -57,6 +57,8 @@ API_MODULES = [
     "repro.workloads",
     "repro.experiments",
     "repro.streaming",
+    "repro.store",
+    "repro.resilience",
 ]
 
 _warnings: List[str] = []

@@ -11,8 +11,15 @@ Examples
     python -m repro.cli figure12 --repeats 10
     python -m repro.cli counters --dataset cdc_firearms
     python -m repro.cli matrix --workloads all --solvers greedy_minvar,random
+    python -m repro.cli store run --store plans.db --events 50
+    python -m repro.cli store resume --store plans.db
+    python -m repro.cli store verify --store plans.db
+    python -m repro.cli chaos --faults '{"kernel": 0.1, "store": 0.2}'
 
 Every subcommand prints the same rows the corresponding paper figure plots.
+The ``store`` subcommand runs a journal with crash-safe persistence (and can
+resume after a kill); ``chaos`` replays under deterministic fault injection
+and reports the degradation counters plus plan divergence (always zero).
 
 The subcommands are not wired by hand: they are derived from the experiment
 registry (:mod:`repro.experiments.registry`), populated by the declarative

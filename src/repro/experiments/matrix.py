@@ -59,7 +59,11 @@ from repro.core.greedy import (
     RandomSelector,
 )
 from repro.core.modular import OptimumModularMinVar
-from repro.experiments.parallel import chunk_ranges, resolve_max_workers
+from repro.experiments.parallel import (
+    chunk_ranges,
+    collect_or_rerun,
+    resolve_max_workers,
+)
 from repro.experiments.persistence import write_rows_csv
 from repro.experiments.registry import argument, register_experiment
 from repro.experiments.reporting import format_rows
@@ -627,22 +631,30 @@ class ScenarioMatrix:
         """Shard the workload list across a process pool, chunked.
 
         Submissions carry chunks of spec *names* plus the config tuple —
-        pickle-light regardless of workload size.  Worker failures propagate
-        (``future.result`` re-raises); there is no silent serial downgrade
-        on this path because the inputs are strings and numbers, which
-        always pickle.
+        pickle-light regardless of workload size.  There is no pickling
+        downgrade on this path (the inputs are strings and numbers), but a
+        worker that *crashes* degrades its chunk to a serial re-run through
+        :func:`~repro.experiments.parallel.collect_or_rerun`, counted as a
+        ``pool.pool_to_serial`` degradation.  Real errors raised by a
+        workload still propagate.
         """
         chunks = chunk_ranges(len(names), workers)
         outcomes: Dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
+            submissions = [
+                ([names[i] for i in chunk], pool.submit(
                     _execute_workload_shard, [names[i] for i in chunk], *config
-                )
+                ))
                 for chunk in chunks
             ]
-            for future in futures:
-                for outcome in future.result():
+            for chunk_names, future in submissions:
+                shard = collect_or_rerun(
+                    future,
+                    lambda chunk_names=chunk_names: _execute_workload_shard(
+                        chunk_names, *config
+                    ),
+                )
+                for outcome in shard:
                     outcomes[outcome["name"]] = outcome
         return outcomes
 

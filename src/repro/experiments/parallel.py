@@ -22,18 +22,45 @@ would silently downgrade to serial execution raises instead.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, TypeVar, Union
+
+from repro.resilience.degradation import record_degradation
+from repro.resilience.faults import WorkerCrashFault, maybe_inject
 
 __all__ = [
     "ParallelExecutionError",
     "machine_workers",
     "resolve_max_workers",
     "chunk_ranges",
+    "collect_or_rerun",
 ]
+
+T = TypeVar("T")
 
 
 class ParallelExecutionError(RuntimeError):
     """Raised when ``parallel="forced"`` cannot actually run in a pool."""
+
+
+def collect_or_rerun(future, serial_thunk: Callable[[], T]) -> T:
+    """Collect one pool future, re-running the shard serially on a crash.
+
+    The pool→serial degradation chain: a worker that died
+    (``BrokenProcessPool``, or an injected
+    :class:`~repro.resilience.faults.WorkerCrashFault` at site ``pool``)
+    costs one serial re-run of that shard and a ``("pool",
+    "pool_to_serial")`` counter — never the whole experiment.  This applies
+    under ``parallel="forced"`` too: forced means "don't *plan* a serial
+    run", and by the time a worker crashes the parallel attempt was made;
+    re-raising would turn a recoverable fault into a lost run.
+    """
+    try:
+        maybe_inject("pool")
+        return future.result()
+    except (WorkerCrashFault, BrokenProcessPool):
+        record_degradation("pool", "pool_to_serial")
+        return serial_thunk()
 
 
 def machine_workers() -> int:

@@ -303,3 +303,156 @@ def _stream(args: argparse.Namespace) -> str:
     if args.json_out:
         lines.append(f"full result written to {args.json_out}")
     return "\n".join(lines)
+
+
+def _stream_setup(args: argparse.Namespace):
+    """The (database, journal, planner_factory) triple the durability
+    subcommands share, built deterministically from the workload args so
+    ``store run``, a crashed ``store run`` and ``store resume`` all agree."""
+    from repro.datasets.synthetic import generate_urx
+    from repro.experiments.workloads import uniqueness_workload
+    from repro.streaming import Journal, StreamingPlanner, synthesize_journal
+
+    workload = uniqueness_workload(
+        generate_urx(args.n, args.seed), window_width=4, gamma=args.gamma
+    )
+    database = workload.database
+    if getattr(args, "journal", None):
+        journal = Journal.from_jsonl(args.journal)
+    else:
+        journal = synthesize_journal(database, args.events, seed=args.seed)
+    budget = args.budget_fraction * database.total_cost
+
+    def factory() -> StreamingPlanner:
+        fresh = uniqueness_workload(
+            generate_urx(args.n, args.seed), window_width=4, gamma=args.gamma
+        )
+        return StreamingPlanner(fresh.database, fresh.query_function, budget=budget)
+
+    return database, journal, factory
+
+
+@register_experiment(
+    name="store",
+    description="Durable crash-safe streaming: run, resume, inspect or verify a plan store",
+    arguments=[
+        argument("action", choices=["run", "resume", "status", "verify"], help="run a journal durably, resume after a crash, show stream status, or verify row checksums"),
+        argument("--store", default="plans.db", help="SQLite plan-store path"),
+        argument("--stream", default="stream", help="stream id inside the store"),
+        argument("--n", type=int, default=200, help="base database size (URx synthetic)"),
+        argument("--events", type=int, default=50, help="journal length when synthesizing"),
+        argument("--seed", type=int, default=0, help="journal synthesis seed"),
+        argument("--gamma", type=float, default=40.0, help="claim threshold of the uniqueness workload"),
+        argument("--budget-fraction", type=float, default=0.15, help="budget as a fraction of total cost"),
+        argument("--checkpoint-every", type=int, default=10, help="durable checkpoint interval in events"),
+        argument("--journal", default=None, help="JSONL journal path (default: synthesize from --seed)"),
+        argument("--kill-after-events", type=int, default=None, help="hard-exit the process (os._exit 137) after this many events — a scripted SIGKILL for crash-recovery tests"),
+    ],
+)
+def _store(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.store import PlanStore, resume_replay
+    from repro.streaming import plan_signature
+
+    if args.action == "verify":
+        with PlanStore(args.store) as store:
+            report = store.verify()
+        status = "clean" if not report["corrupt"] else f"CORRUPT: {report['corrupt']}"
+        return f"checked {report['rows_checked']} rows: {status}"
+
+    if args.action == "status":
+        with PlanStore(args.store) as store:
+            lines = []
+            for stream_id in store.stream_ids():
+                lines.append(
+                    f"stream {stream_id!r}: {store.event_count(stream_id)} events, "
+                    f"cursor at {store.cursor(stream_id)}, checkpoints at "
+                    f"{store.checkpoint_seqs(stream_id)}, counters "
+                    f"{store.counters(stream_id)}"
+                )
+            return "\n".join(lines) if lines else "empty store"
+
+    _, journal, factory = _stream_setup(args)
+    if args.action == "resume":
+        with PlanStore(args.store) as store:
+            result = resume_replay(store, factory, journal, stream_id=args.stream)
+        return (
+            f"resumed stream {args.stream!r} at event {result.metadata['resumed_at']} "
+            f"and finished {len(result.records)} events "
+            f"(signature {plan_signature(result).hex()[:16]}...)"
+        )
+
+    # action == "run": drive the planner event by event so --kill-after-events
+    # can die mid-stream exactly as a real crash would.
+    with PlanStore(args.store) as store:
+        planner = factory()
+        planner.bind_store(
+            store,
+            stream_id=args.stream,
+            checkpoint_every=args.checkpoint_every,
+            metadata=dict(journal.metadata),
+        )
+        for applied, event in enumerate(journal, start=1):
+            planner.apply(event)
+            if args.kill_after_events is not None and applied >= args.kill_after_events:
+                os._exit(137)  # simulate SIGKILL: no cleanup, no commit beyond this point
+        return (
+            f"ran {planner.events_applied} events durably into {args.store} "
+            f"(stream {args.stream!r}, checkpoint every {args.checkpoint_every}); "
+            f"final plan has {len(planner.plan)} objects"
+        )
+
+
+@register_experiment(
+    name="chaos",
+    description="Fault-injected replay: same plans as a clean run, degradations counted",
+    arguments=[
+        argument("--faults", default=None, help="fault-plan JSON (full spec or bare site→rate map); default: moderate rates at every site"),
+        argument("--fault-seed", type=int, default=0, help="seed of the deterministic fault schedule"),
+        argument("--n", type=int, default=200, help="base database size (URx synthetic)"),
+        argument("--events", type=int, default=50, help="journal length"),
+        argument("--seed", type=int, default=0, help="journal synthesis seed"),
+        argument("--gamma", type=float, default=40.0, help="claim threshold of the uniqueness workload"),
+        argument("--budget-fraction", type=float, default=0.15, help="budget as a fraction of total cost"),
+        argument("--store", default=None, help="optional plan-store path: run the faulted leg durably"),
+    ],
+)
+def _chaos(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.resilience import FaultPlan, degradation_scope, fault_scope
+    from repro.store import PlanStore, durable_replay
+    from repro.streaming import plan_signature, replay_journal
+
+    if args.faults:
+        plan = FaultPlan.from_json(args.faults)
+        if args.fault_seed and plan.seed != args.fault_seed:
+            plan = dataclasses.replace(plan, seed=args.fault_seed)
+    else:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            rates={"kernel": 0.05, "store": 0.15, "event": 0.05, "journal": 0.2},
+        )
+
+    _, journal, factory = _stream_setup(args)
+    clean = plan_signature(replay_journal(journal, factory, compare_cold=False))
+    with fault_scope(plan), degradation_scope() as degradations:
+        if args.store:
+            with PlanStore(args.store) as store:
+                faulted = durable_replay(
+                    journal, factory, store, stream_id="chaos"
+                )
+        else:
+            faulted = replay_journal(journal, factory, compare_cold=False)
+    diverged = plan_signature(faulted) != clean
+    lines = [
+        f"replayed {len(journal)} events under {plan.to_json()}",
+        f"plan divergence: {'DIVERGED' if diverged else 'none (signatures identical)'}",
+        "degradations: "
+        + (
+            ", ".join(f"{k}={v}" for k, v in degradations.snapshot().items())
+            or "none"
+        ),
+    ]
+    return "\n".join(lines)

@@ -46,7 +46,11 @@ import numpy as np
 from repro.core.expected_variance import linear_expected_variance
 from repro.core.problems import budget_from_fraction
 from repro.core.solver import TraceNotSupported
-from repro.experiments.parallel import ParallelExecutionError, resolve_max_workers
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    collect_or_rerun,
+    resolve_max_workers,
+)
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -280,4 +284,14 @@ def _sweep_in_pool(
             )
             for name in names
         }
-        return {name: future.result() for name, future in futures.items()}
+        # A worker crash degrades that one algorithm to a serial re-run
+        # (counted, not warned) instead of losing the whole sweep.
+        return {
+            name: collect_or_rerun(
+                future,
+                lambda name=name: sweep_algorithm(
+                    database, algorithms[name], fractions, evaluate, use_traces
+                ),
+            )
+            for name, future in futures.items()
+        }

@@ -35,6 +35,8 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from repro.kernels import numpy_impl, scalar_impl
+from repro.resilience.degradation import record_degradation
+from repro.resilience.faults import KernelBackendFault, faults_active, maybe_inject
 
 __all__ = [
     "TIERS",
@@ -114,6 +116,7 @@ def _activate(tier: str) -> None:
     if table is not None:
         _ACTIVE, _EFFECTIVE_TIER = dict(table), "compiled"
         return
+    record_degradation("kernels", "compiled_unavailable")
     if not _WARNED_FALLBACK:
         _WARNED_FALLBACK = True
         warnings.warn(
@@ -238,8 +241,27 @@ def environment_metadata() -> dict:
     }
 
 
+def _call_with_faults(name: str, *args):
+    """The degradation-chain path: one kernel call under an active fault plan.
+
+    An injected :class:`~repro.resilience.faults.KernelBackendFault` degrades
+    exactly this call to the numpy implementation — bit-identical results on
+    the numpy tier, float-level identical on compiled — and records a
+    ``("kernels", "<tier>_to_numpy")`` counter instead of warning.
+    """
+    try:
+        maybe_inject("kernel")
+    except KernelBackendFault:
+        record_degradation("kernels", f"{_EFFECTIVE_TIER}_to_numpy")
+        return _NUMPY_TABLE[name](*args)
+    return _ACTIVE[name](*args)
+
+
 def outer_downdate(matrix: np.ndarray, column: np.ndarray, pivot: float) -> None:
     """In-place dense rank-one downdate: ``matrix -= outer(c, c) / pivot``."""
+    if faults_active():
+        _call_with_faults("outer_downdate", matrix, column, pivot)
+        return
     _ACTIVE["outer_downdate"](matrix, column, pivot)
 
 
@@ -247,6 +269,9 @@ def banded_downdate(
     bands: np.ndarray, lo: int, column: np.ndarray, pivot: float
 ) -> None:
     """In-place rank-one downdate on band storage (caller pre-widens)."""
+    if faults_active():
+        _call_with_faults("banded_downdate", bands, lo, column, pivot)
+        return
     _ACTIVE["banded_downdate"](bands, lo, column, pivot)
 
 
@@ -257,6 +282,14 @@ def convolve_support(
     contribution_probabilities: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One discrete-convolution step; returns the merged ``(values, probs)``."""
+    if faults_active():
+        return _call_with_faults(
+            "convolve_support",
+            values,
+            probabilities,
+            contributions,
+            contribution_probabilities,
+        )
     return _ACTIVE["convolve_support"](
         values, probabilities, contributions, contribution_probabilities
     )
@@ -266,6 +299,8 @@ def normal_surprise_scores(
     shifts: np.ndarray, sds: np.ndarray, tau: float
 ) -> np.ndarray:
     """Batched ``Phi((-tau - shift) / sd)`` with the degenerate indicator."""
+    if faults_active():
+        return _call_with_faults("normal_surprise_scores", shifts, sds, tau)
     return _ACTIVE["normal_surprise_scores"](shifts, sds, tau)
 
 
@@ -273,6 +308,8 @@ def conditional_gains(
     matvec: np.ndarray, diagonal: np.ndarray, floor: np.ndarray
 ) -> np.ndarray:
     """Conditional-mode gains: ``v^2/diag`` above the pivot floor, else 0."""
+    if faults_active():
+        return _call_with_faults("conditional_gains", matvec, diagonal, floor)
     return _ACTIVE["conditional_gains"](matvec, diagonal, floor)
 
 
@@ -283,6 +320,10 @@ def marginal_gains(
     cleaned_mask: np.ndarray,
 ) -> np.ndarray:
     """Marginal-mode gains: ``2wv - w^2 diag``, zero for cleaned components."""
+    if faults_active():
+        return _call_with_faults(
+            "marginal_gains", weights, matvec, diagonal, cleaned_mask
+        )
     return _ACTIVE["marginal_gains"](weights, matvec, diagonal, cleaned_mask)
 
 

@@ -1,0 +1,92 @@
+"""Bounded, jittered, counted retry for transient failures.
+
+The store's SQLite statements and the pool engines both face *transient*
+failures — a locked database file, a worker that died — that a bounded
+retry absorbs.  :func:`retry_call` is the one retry loop they share:
+
+* **bounded** — at most ``policy.attempts`` tries, then the last error is
+  re-raised (no infinite loops hiding a real outage);
+* **exponential with jitter** — the ``k``-th wait is
+  ``base_delay * multiplier**k`` capped at ``max_delay``, scaled by a
+  *deterministic* jitter factor drawn from a CRC32 hash of
+  ``(seed, attempt)`` — retries desynchronize across contending processes
+  while any single run stays exactly replayable;
+* **counted** — every retry records a ``(site, "retry")`` degradation
+  counter, and exhaustion records ``(site, "retries_exhausted")`` before
+  re-raising, so a service dashboard sees contention without scraping logs.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.resilience.degradation import record_degradation
+
+__all__ = ["BackoffPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """How many times to retry and how long to wait between attempts."""
+
+    attempts: int = 5
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be nonnegative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """The wait before retry number ``attempt`` (0-based), jitter applied.
+
+        The jitter factor is uniform on ``[1 - jitter, 1]`` but derived from
+        a hash of ``(seed, attempt)`` rather than a shared RNG, so delays
+        are reproducible per policy without coordinating global state.
+        """
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        token = f"{self.seed}|retry|{attempt}".encode("ascii")
+        unit = (zlib.crc32(token) & 0xFFFFFFFF) / 2.0**32
+        return raw * (1.0 - self.jitter * unit)
+
+
+def retry_call(
+    func: Callable[[], T],
+    *,
+    retryable: Tuple[Type[BaseException], ...],
+    policy: BackoffPolicy = BackoffPolicy(),
+    site: str = "store",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``func`` with bounded, jittered, counted retries.
+
+    Only exceptions matching ``retryable`` are retried; anything else
+    propagates immediately (a syntax error in SQL is not contention).  After
+    the final attempt the last retryable error is re-raised unchanged.
+    """
+    last: BaseException
+    for attempt in range(policy.attempts):
+        try:
+            return func()
+        except retryable as error:
+            last = error
+            if attempt + 1 >= policy.attempts:
+                record_degradation(site, "retries_exhausted")
+                raise
+            record_degradation(site, "retry")
+            sleep(policy.delay(attempt))
+    raise last  # pragma: no cover — unreachable, loop always returns or raises

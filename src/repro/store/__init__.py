@@ -1,0 +1,22 @@
+"""Crash-safe persistence: the durable journal / plan / checkpoint store.
+
+:class:`~repro.store.sqlite_store.PlanStore` is a single-file SQLite
+store (WAL mode, ``busy_timeout``, CRC32-checksummed rows) holding event
+journals, committed plans, planner state checkpoints, apply cursors and
+degradation counters per stream.  The runners in
+:mod:`~repro.store.runner` drive a
+:class:`~repro.streaming.planner.StreamingPlanner` through a journal
+with every event durable *before* it is applied — so a crash (including
+SIGKILL mid-event) at any point resumes to the byte-identical plan
+sequence of an uninterrupted run.
+"""
+
+from repro.store.runner import durable_replay, resume_replay
+from repro.store.sqlite_store import PlanStore, StoreCorruptionError
+
+__all__ = [
+    "PlanStore",
+    "StoreCorruptionError",
+    "durable_replay",
+    "resume_replay",
+]

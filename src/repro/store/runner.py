@@ -1,0 +1,153 @@
+"""Durable journal replay and crash resume over a :class:`PlanStore`.
+
+:func:`durable_replay` is :func:`~repro.streaming.replay.replay_journal`
+with a store bound — every event is journaled durably before it is
+applied and every plan commits afterwards, so killing the process at any
+point (including SIGKILL between an event's append and its plan commit)
+loses nothing that :func:`resume_replay` cannot reconstruct.
+
+:func:`resume_replay` picks a crashed run back up: it restores the
+planner from the last durable checkpoint, re-applies the events the
+store journaled past it, verifies the store's journal is a prefix of the
+supplied journal, stitches the already-committed plan records onto the
+front of a fresh :class:`~repro.streaming.replay.ReplayResult` and then
+finishes the remaining journal events.  The stitched result's
+:func:`~repro.streaming.replay.plan_signature` is byte-identical to an
+uninterrupted run's — the acceptance property the resilience benchmarks
+and the kill-at-every-index tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.store.sqlite_store import PlanStore
+from repro.streaming.events import Journal, event_to_dict
+from repro.streaming.planner import StreamingPlanner
+from repro.streaming.replay import ReplayResult, apply_and_record
+
+__all__ = ["durable_replay", "resume_replay"]
+
+
+def durable_replay(
+    journal: Journal,
+    planner_factory: Callable[[], StreamingPlanner],
+    store: PlanStore,
+    stream_id: str = "stream",
+    checkpoint_every: int = 10,
+    compare_cold: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ReplayResult:
+    """Replay ``journal`` with every event and plan made durable in ``store``.
+
+    Identical to :func:`~repro.streaming.replay.replay_journal` except the
+    planner is bound to ``store`` first (see
+    :meth:`~repro.streaming.planner.StreamingPlanner.bind_store`), so the
+    run is resumable after a crash at any point.  ``compare_cold``
+    defaults off — the durable path is usually timed against the pure
+    warm replay, not against per-event cold solves.
+    """
+    planner = planner_factory()
+    planner.bind_store(
+        store,
+        stream_id=stream_id,
+        checkpoint_every=checkpoint_every,
+        metadata=dict(journal.metadata),
+    )
+    result = ReplayResult(metadata=dict(journal.metadata))
+    result.metadata.setdefault("track", planner.track)
+    for event in journal:
+        apply_and_record(planner, event, result, compare_cold, clock)
+    return result
+
+
+def _verify_journal_prefix(store: PlanStore, stream_id: str, journal: Journal) -> int:
+    """Check the store's event journal is a prefix of ``journal``.
+
+    Returns the number of durable events.  A divergence means the caller
+    is resuming the wrong stream (or the journal file changed underneath
+    the store) — continuing would silently splice two histories, so it
+    raises instead.
+    """
+    stored = store.events(stream_id)
+    if len(stored) > len(journal.events):
+        raise ValueError(
+            f"stream {stream_id!r} has {len(stored)} durable events but the "
+            f"journal only has {len(journal.events)}"
+        )
+    for seq, payload in stored:
+        if seq >= len(journal.events) or event_to_dict(journal.events[seq]) != payload:
+            raise ValueError(
+                f"stream {stream_id!r} diverges from the journal at event "
+                f"{seq}: the store is not resuming the same history"
+            )
+    return len(stored)
+
+
+def resume_replay(
+    store: PlanStore,
+    planner_factory: Callable[[], StreamingPlanner],
+    journal: Journal,
+    stream_id: str = "stream",
+    compare_cold: bool = False,
+    checkpoint_every: Optional[int] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ReplayResult:
+    """Resume a crashed :func:`durable_replay` and finish the journal.
+
+    ``planner_factory`` must build the planner exactly as the original
+    run did (same database, function, budget, model) — the factory's
+    planner supplies the *initial* inputs
+    :meth:`~repro.streaming.planner.StreamingPlanner.resume` rebuilds
+    the checkpoint against; its own initial solve is discarded.
+
+    The returned result covers the *whole* journal: records for events
+    the crashed run already committed are restored from the store's plan
+    rows (marked ``"restored": True``, with zero wall-clock), the rest
+    are applied live.  Its plan signature equals an uninterrupted run's.
+    """
+    base = planner_factory()
+    if base._store is not None:
+        raise ValueError(
+            "planner_factory must not bind a store itself; "
+            "resume_replay manages the binding"
+        )
+    durable = _verify_journal_prefix(store, stream_id, journal)
+    planner = StreamingPlanner.resume(
+        store,
+        base.database,
+        base.function,
+        stream_id=stream_id,
+        model=base._model,
+        checkpoint_every=checkpoint_every,
+    )
+    result = ReplayResult(metadata=dict(journal.metadata))
+    result.metadata.setdefault("track", planner.track)
+    result.metadata["resumed_at"] = durable
+
+    restored: List[Dict[str, object]] = []
+    for _, record in store.plan_records(stream_id, upto_seq=durable - 1):
+        entry: Dict[str, object] = {
+            "kind": record["kind"],
+            "mode": record["mode"],
+            "prefix_kept": record["prefix_kept"],
+            "warm_seconds": 0.0,
+            "plan": list(record["plan"]),
+            "restored": True,
+        }
+        restored.append(entry)
+        if record["mode"] == "cold":
+            result.cold_fallbacks += 1
+        else:
+            result.warm_solves += 1
+    if len(restored) != durable:
+        raise ValueError(
+            f"stream {stream_id!r} has {durable} durable events but "
+            f"{len(restored)} plan records after resume"
+        )
+    result.records.extend(restored)
+
+    for event in journal.events[durable:]:
+        apply_and_record(planner, event, result, compare_cold, clock)
+    return result

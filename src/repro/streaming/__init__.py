@@ -36,13 +36,20 @@ from repro.streaming.events import (
     event_to_dict,
     synthesize_journal,
 )
+from repro.streaming.events import JournalCorruptionError
 from repro.streaming.planner import StreamingPlanner
-from repro.streaming.replay import ReplayResult, plan_signature, replay_journal
+from repro.streaming.replay import (
+    ReplayResult,
+    apply_and_record,
+    plan_signature,
+    replay_journal,
+)
 
 __all__ = [
     "CostChangeEvent",
     "InsertEvent",
     "Journal",
+    "JournalCorruptionError",
     "RemoveEvent",
     "RevealEvent",
     "StreamEvent",
@@ -51,6 +58,7 @@ __all__ = [
     "synthesize_journal",
     "StreamingPlanner",
     "ReplayResult",
+    "apply_and_record",
     "plan_signature",
     "replay_journal",
 ]

@@ -29,12 +29,15 @@ benchmarks.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.resilience.degradation import record_degradation
+from repro.resilience.faults import maybe_torn_write
 from repro.uncertainty.database import UncertainDatabase
 
 __all__ = [
@@ -46,8 +49,25 @@ __all__ = [
     "event_to_dict",
     "event_from_dict",
     "Journal",
+    "JournalCorruptionError",
     "synthesize_journal",
 ]
+
+
+class JournalCorruptionError(ValueError):
+    """A JSONL journal line failed to parse (torn write, truncation, noise).
+
+    Carries ``line_number`` (1-based) and ``byte_offset`` (the offset of the
+    corrupt line's first byte in the file) so the broken region can be
+    inspected or truncated by hand.
+    """
+
+    def __init__(self, message: str, line_number: int, byte_offset: int):
+        super().__init__(
+            f"{message} (line {line_number}, byte offset {byte_offset})"
+        )
+        self.line_number = int(line_number)
+        self.byte_offset = int(byte_offset)
 
 
 @dataclass(frozen=True)
@@ -187,28 +207,69 @@ class Journal:
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     @classmethod
-    def from_jsonl(cls, path: Union[str, Path]) -> "Journal":
-        """Read a journal previously written by :meth:`to_jsonl` / :meth:`append`."""
+    def from_jsonl(cls, path: Union[str, Path], recover: bool = False) -> "Journal":
+        """Read a journal previously written by :meth:`to_jsonl` / :meth:`append`.
+
+        A crash mid-append leaves a *torn* final line (or arbitrary noise
+        after a partial flush).  By default any unparsable line raises
+        :class:`JournalCorruptionError` naming its line number and byte
+        offset.  With ``recover=True`` the journal is instead truncated to
+        the longest valid prefix: everything before the first corrupt line
+        is kept, the rest is dropped with a :class:`RuntimeWarning` and a
+        ``("journal", "truncated")`` degradation counter — the graceful
+        path crash recovery uses.
+        """
         path = Path(path)
         events: List[StreamEvent] = []
         metadata: Dict[str, object] = {}
-        with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+        offset = 0
+        with path.open("rb") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line_offset = offset
+                offset += len(raw)
+                line = raw.strip()
                 if not line:
                     continue
-                payload = json.loads(line)
-                if "journal" in payload and "kind" not in payload:
-                    metadata.update(payload["journal"])
-                    continue
-                events.append(event_from_dict(payload))
+                try:
+                    payload = json.loads(line.decode("utf-8"))
+                    if not isinstance(payload, dict):
+                        raise ValueError(f"journal line is not an object: {payload!r}")
+                    if "journal" in payload and "kind" not in payload:
+                        metadata.update(payload["journal"])
+                        continue
+                    events.append(event_from_dict(payload))
+                except (ValueError, TypeError, UnicodeDecodeError) as error:
+                    if not recover:
+                        raise JournalCorruptionError(
+                            f"corrupt journal line in {path}: {error}",
+                            line_number,
+                            line_offset,
+                        ) from error
+                    record_degradation("journal", "truncated")
+                    warnings.warn(
+                        f"journal {path} corrupt at line {line_number} "
+                        f"(byte offset {line_offset}): kept the "
+                        f"{len(events)}-event valid prefix, dropped the rest",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
         return cls(events, metadata)
 
     @staticmethod
     def append(path: Union[str, Path], event: StreamEvent) -> None:
-        """Append one event to a JSONL journal file (pure file append)."""
+        """Append one event to a JSONL journal file (pure file append).
+
+        This is the write the fault harness tears (site ``journal``): under
+        an active :class:`~repro.resilience.faults.FaultPlan` the line may
+        be written half-finished without its newline — exactly the state a
+        crash mid-append leaves — which :meth:`from_jsonl`'s recovery mode
+        must absorb.
+        """
+        line = json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+        line, _ = maybe_torn_write(line)
         with Path(path).open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+            handle.write(line)
 
 
 def synthesize_journal(

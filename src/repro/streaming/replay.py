@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.streaming.events import Journal
 from repro.streaming.planner import StreamingPlanner
 
-__all__ = ["ReplayResult", "replay_journal", "plan_signature"]
+__all__ = ["ReplayResult", "apply_and_record", "replay_journal", "plan_signature"]
 
 
 @dataclass
@@ -96,6 +96,60 @@ def plan_signature(result: ReplayResult) -> bytes:
     return json.dumps(result.plans(), separators=(",", ":")).encode("ascii")
 
 
+def apply_and_record(
+    planner: StreamingPlanner,
+    event,
+    result: ReplayResult,
+    compare_cold: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Dict[str, object]:
+    """Apply one event, append its record to ``result`` and return it.
+
+    The shared per-event measurement step of :func:`replay_journal` and
+    the durable runners in :mod:`repro.store.runner` — both must record
+    identically so their :func:`plan_signature` bytes are comparable.
+    """
+    started = clock()
+    info = planner.apply(event)
+    warm_elapsed = clock() - started
+    record: Dict[str, object] = {
+        "kind": info["kind"],
+        "mode": info["mode"],
+        "prefix_kept": info["prefix_kept"],
+        "warm_seconds": warm_elapsed,
+        "plan": list(info["plan"]),
+    }
+    result.warm_seconds += warm_elapsed
+    if info["mode"] == "cold":
+        result.cold_fallbacks += 1
+    else:
+        result.warm_solves += 1
+    if compare_cold:
+        started = clock()
+        cold = planner.cold_plan()
+        cold_elapsed = clock() - started
+        warm_set, cold_set = set(planner.plan), set(cold)
+        union = warm_set | cold_set
+        warm_objective = planner.objective()
+        cold_objective = planner.objective(cold)
+        record.update(
+            {
+                "cold_seconds": cold_elapsed,
+                "cold_plan": list(cold),
+                "jaccard": (
+                    len(warm_set & cold_set) / len(union) if union else 1.0
+                ),
+                "symmetric_difference": len(warm_set ^ cold_set),
+                "objective_warm": warm_objective,
+                "objective_cold": cold_objective,
+                "objective_gap": abs(warm_objective - cold_objective),
+            }
+        )
+        result.cold_seconds += cold_elapsed
+    result.records.append(record)
+    return record
+
+
 def replay_journal(
     journal: Journal,
     planner_factory: Callable[[], StreamingPlanner],
@@ -116,42 +170,5 @@ def replay_journal(
     result = ReplayResult(metadata=dict(journal.metadata))
     result.metadata.setdefault("track", planner.track)
     for event in journal:
-        started = clock()
-        info = planner.apply(event)
-        warm_elapsed = clock() - started
-        record: Dict[str, object] = {
-            "kind": info["kind"],
-            "mode": info["mode"],
-            "prefix_kept": info["prefix_kept"],
-            "warm_seconds": warm_elapsed,
-            "plan": list(info["plan"]),
-        }
-        result.warm_seconds += warm_elapsed
-        if info["mode"] == "cold":
-            result.cold_fallbacks += 1
-        else:
-            result.warm_solves += 1
-        if compare_cold:
-            started = clock()
-            cold = planner.cold_plan()
-            cold_elapsed = clock() - started
-            warm_set, cold_set = set(planner.plan), set(cold)
-            union = warm_set | cold_set
-            warm_objective = planner.objective()
-            cold_objective = planner.objective(cold)
-            record.update(
-                {
-                    "cold_seconds": cold_elapsed,
-                    "cold_plan": list(cold),
-                    "jaccard": (
-                        len(warm_set & cold_set) / len(union) if union else 1.0
-                    ),
-                    "symmetric_difference": len(warm_set ^ cold_set),
-                    "objective_warm": warm_objective,
-                    "objective_cold": cold_objective,
-                    "objective_gap": abs(warm_objective - cold_objective),
-                }
-            )
-            result.cold_seconds += cold_elapsed
-        result.records.append(record)
+        apply_and_record(planner, event, result, compare_cold, clock)
     return result

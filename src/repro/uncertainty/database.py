@@ -33,6 +33,7 @@ exposes:
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,6 +87,37 @@ class UncertainDatabase:
         self._costs = self._frozen([obj.cost for obj in objects])
         self._stds = self._frozen(np.sqrt(self._variances))
         self._total_cost = float(self._costs.sum())
+        self._validate_stats(lambda i: f" ({names[i]!r})")
+
+    def _validate_stats(self, describe) -> None:
+        """Reject NaN / infinite stats and NaN / nonpositive costs.
+
+        A NaN current value or variance silently poisons every downstream
+        benefit ratio and covariance solve; failing construction with the
+        offending index is the only place the mistake is still attributable
+        to its source.  ``math.inf`` is allowed *only* as a cost (the
+        streaming tombstone for removed objects).
+        """
+        for label, vector in (
+            ("current value", self._current_values),
+            ("mean", self._means),
+            ("variance", self._variances),
+        ):
+            finite = np.isfinite(vector)
+            if not finite.all():
+                index = int(np.argmin(finite))
+                raise ValueError(
+                    f"object {index}{describe(index)} has a non-finite "
+                    f"{label}: {vector[index]}"
+                )
+        valid = self._costs > 0  # False for NaN, zero and negative costs
+        if not valid.all():
+            index = int(np.argmin(valid))
+            raise ValueError(
+                f"object {index}{describe(index)} has an invalid cleaning "
+                f"cost {self._costs[index]}: costs must be positive "
+                f"(math.inf is allowed as a tombstone)"
+            )
 
     @staticmethod
     def _frozen(values) -> np.ndarray:
@@ -124,25 +156,44 @@ class UncertainDatabase:
         if current.ndim != 1 or current.size == 0:
             raise ValueError("current_values must be a non-empty 1-D array")
         n = current.size
+        if not np.isfinite(current).all():
+            index = int(np.argmin(np.isfinite(current)))
+            raise ValueError(
+                f"current_values[{index}] must be finite, got {current[index]}"
+            )
         stds_arr = np.asarray(stds, dtype=float)
         if stds_arr.shape != (n,):
             raise ValueError(f"stds must have shape ({n},), got {stds_arr.shape}")
-        if (stds_arr < 0).any():
-            raise ValueError("standard deviations must be nonnegative")
+        valid_stds = np.isfinite(stds_arr) & (stds_arr >= 0)
+        if not valid_stds.all():
+            index = int(np.argmin(valid_stds))
+            raise ValueError(
+                f"stds[{index}] must be finite and nonnegative, got "
+                f"{stds_arr[index]}"
+            )
         if costs is None:
             costs_arr = np.ones(n, dtype=float)
         else:
             costs_arr = np.asarray(costs, dtype=float)
             if costs_arr.shape != (n,):
                 raise ValueError(f"costs must have shape ({n},), got {costs_arr.shape}")
-            if (costs_arr <= 0).any():
-                raise ValueError("cleaning costs must be positive")
+            valid_costs = costs_arr > 0  # False for NaN, zero and negatives
+            if not valid_costs.all():
+                index = int(np.argmin(valid_costs))
+                raise ValueError(
+                    f"costs[{index}] must be positive, got {costs_arr[index]}"
+                )
         if means is None:
             means_arr = current
         else:
             means_arr = np.asarray(means, dtype=float)
             if means_arr.shape != (n,):
                 raise ValueError(f"means must have shape ({n},), got {means_arr.shape}")
+            if not np.isfinite(means_arr).all():
+                index = int(np.argmin(np.isfinite(means_arr)))
+                raise ValueError(
+                    f"means[{index}] must be finite, got {means_arr[index]}"
+                )
         if not prefix:
             raise ValueError("prefix must be non-empty")
 
@@ -327,8 +378,13 @@ class UncertainDatabase:
         index = int(index)
         if not 0 <= index < len(self):
             raise IndexError(f"object index {index} out of range for n={len(self)}")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"revealed value for object {index} must be finite, got {value}"
+            )
         delta = dict(self._overlay_delta)
-        delta[index] = float(value)
+        delta[index] = value
         return self._make_overlay(
             self._overlay_root(), delta, dict(self._overlay_costs), self._overlay_appended
         )

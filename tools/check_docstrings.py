@@ -3,7 +3,8 @@
 
 Checks that every export of the public packages — ``repro.core``,
 ``repro.uncertainty``, ``repro.workloads``, ``repro.claims``,
-``repro.datasets``, ``repro.experiments``, ``repro.streaming`` — has a
+``repro.datasets``, ``repro.experiments``, ``repro.streaming``,
+``repro.store``, ``repro.resilience`` — has a
 docstring whose first
 line is a one-line summary, and that the public methods/properties of
 exported classes are documented too (pydocstyle's D101/D102/D103 scope,
@@ -56,6 +57,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.streaming",
+    "repro.store",
+    "repro.resilience",
 ]
 
 
