@@ -70,6 +70,15 @@ RULES = {
         ("sigkill_resume_identical", ">=", "sigkill_resume_required"),
         ("chaos_plan_divergence", "<=", "chaos_divergence_ceiling"),
     ],
+    "BENCH_service.json": [
+        ("read_p99_ms", "<=", "read_p99_ceiling_ms"),
+        ("ingest_p99_ms", "<=", "ingest_p99_ceiling_ms"),
+        ("responses_verified", ">=", "responses_required"),
+        ("plan_mismatches", "<=", "mismatch_ceiling"),
+        ("signature_mismatches", "<=", "mismatch_ceiling"),
+        ("version_violations", "<=", "mismatch_ceiling"),
+        ("sigkill_acked_events_lost", "<=", "mismatch_ceiling"),
+    ],
 }
 
 #: Environment facts every artifact must record (enforced for known
@@ -123,8 +132,8 @@ def write_baseline(bench_dir: Path) -> int:
     Three pytest invocations cover every artifact writer: the
     perf-regression suite (BENCH_kernels/sweeps/adaptive/dep), the tier grid
     (BENCH_tiers) and the ``scale``-marked benchmarks (BENCH_scale,
-    BENCH_stream and BENCH_resilience — selected explicitly against the
-    default addopts).
+    BENCH_stream, BENCH_resilience and BENCH_service — selected explicitly
+    against the default addopts).
     """
     repo_root = bench_dir.parent
     environment = dict(os.environ)
@@ -139,6 +148,7 @@ def write_baseline(bench_dir: Path) -> int:
             "benchmarks/test_scale.py",
             "benchmarks/test_stream.py",
             "benchmarks/test_resilience.py",
+            "benchmarks/test_service_harness.py",
             "-m",
             "scale",
         ],

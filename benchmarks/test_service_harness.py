@@ -1,0 +1,212 @@
+"""Service benchmark: the 16x200 concurrent-history harness + SIGKILL resume.
+
+Boots a real ``repro serve`` subprocess, then:
+
+1. **Concurrent history** — 16 client threads x 200 ops each, interleaving
+   keyed ingests and plan reads over 4 sessions (one of them
+   storage-backed).  Every response is recorded, then
+   :func:`repro.service.verify_history` replays each session's durable
+   journal serially and recomputes what every response should have said:
+   byte-equal plans at the reported version, recomputed signatures,
+   contiguous ack versions, per-thread monotone reads.  Latency
+   percentiles (read p50/p99, ingest→fresh-plan p50/p99) come from the
+   same observations.
+2. **SIGKILL + resume** — a second server takes a run of acked keyed
+   ingests, is hard-killed (no shutdown hooks), and is rebooted with
+   ``--resume``.  Every acked event must still be in the journal, the
+   resumed version must equal the ack count, and re-sending each key must
+   replay the *original* ack signature — an acked event is never lost.
+
+Everything goes to ``BENCH_service.json`` *before* the asserts;
+``benchmarks/check_regressions.py`` enforces the committed ceilings in CI.
+Deselected from tier-1 by the ``scale`` marker — run with
+``pytest benchmarks/test_service_harness.py -m scale``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kernels import environment_metadata
+from repro.service import (
+    ServiceClient,
+    kill_server,
+    run_concurrent_history,
+    start_server_subprocess,
+    verify_history,
+)
+from repro.service.sessions import SessionConfig
+from repro.store import PlanStore
+
+ARTIFACT_PATH = Path(__file__).parent / "BENCH_service.json"
+
+THREADS = 16
+OPS_PER_THREAD = 200
+HISTORY_SEED = 13
+
+#: The four session workloads the harness threads round-robin over.
+SESSION_CONFIGS = (
+    {"kind": "linear_normal", "n": 64, "seed": 1, "budget": 9.0},
+    {"kind": "linear_normal", "n": 96, "seed": 2, "budget": 12.0},
+    {
+        "kind": "linear_normal",
+        "n": 64,
+        "seed": 3,
+        "budget": 9.0,
+        "storage_backed": True,
+        "page_size": 32,
+    },
+    {"kind": "urx_uniqueness", "n": 48, "seed": 4, "budget": 12.0},
+)
+
+#: Latency ceilings (generous: CI runners share cores with 16 client
+#: threads and a GIL-bound threaded server).
+READ_P99_CEILING_MS = 2_000.0
+INGEST_P99_CEILING_MS = 10_000.0
+
+#: Acked keyed ingests the SIGKILL leg commits before the hard kill.
+SIGKILL_EVENTS = 25
+
+
+def _percentiles(values):
+    if not values:
+        return 0.0, 0.0
+    array = np.asarray(values, dtype=float)
+    return float(np.percentile(array, 50)), float(np.percentile(array, 99))
+
+
+def _run_history(root: Path):
+    process, url = start_server_subprocess(root)
+    try:
+        client = ServiceClient(url)
+        sessions = []
+        for config in SESSION_CONFIGS:
+            created = client.create_session(**config)
+            sessions.append((created["session"], SessionConfig.from_payload(config)))
+        client.close()
+        history = run_concurrent_history(
+            url,
+            sessions,
+            threads=THREADS,
+            ops_per_thread=OPS_PER_THREAD,
+            seed=HISTORY_SEED,
+        )
+    finally:
+        kill_server(process)
+    return history
+
+
+def _run_sigkill_leg(root: Path):
+    """Acked events survive a SIGKILL: journaled, resumed, replayable."""
+    process, url = start_server_subprocess(root)
+    client = ServiceClient(url)
+    session = client.create_session(kind="linear_normal", n=48, seed=9, budget=8.0)
+    session_id = session["session"]
+    rng = np.random.default_rng(99)
+    acks = {}
+    for i in range(SIGKILL_EVENTS):
+        event = {
+            "kind": "reveal",
+            "index": int(rng.integers(0, 48)),
+            "value": float(rng.normal(10.0, 2.0)),
+        }
+        key = f"sk-{i}"
+        acks[key] = (event, client.ingest(session_id, event, idempotency_key=key))
+    client.close()
+    kill_server(process)
+
+    lost = 0
+    # Every acked seq must be durable in the journal the kill left behind.
+    store = PlanStore(root / f"{session_id}.sqlite")
+    try:
+        durable_seqs = {seq for seq, _ in store.events(session_id)}
+    finally:
+        store.close()
+    for key, (_event, ack) in acks.items():
+        if int(ack["seq"]) not in durable_seqs:
+            lost += 1
+
+    # Resume and replay every key: the original ack must come back verbatim.
+    process, url = start_server_subprocess(root, resume=True)
+    try:
+        client = ServiceClient(url)
+        info = client.info(session_id)
+        if int(info["version"]) != SIGKILL_EVENTS:
+            lost += abs(SIGKILL_EVENTS - int(info["version"]))
+        for key, (event, ack) in acks.items():
+            replay = client.ingest(session_id, dict(event), idempotency_key=key)
+            if not replay.get("idempotent_replay"):
+                lost += 1
+            elif replay["signature"] != ack["signature"]:
+                lost += 1
+        # The resumed session keeps serving: one fresh event lands on top.
+        fresh = client.ingest(
+            session_id,
+            {"kind": "reveal", "index": 0, "value": 11.0},
+            idempotency_key="post-resume",
+        )
+        post_resume_version = int(fresh["version"])
+        client.close()
+    finally:
+        kill_server(process)
+    return lost, post_resume_version
+
+
+@pytest.mark.scale
+def test_service_concurrent_history_and_sigkill(tmp_path):
+    history = _run_history(tmp_path / "history")
+    observations = history["observations"]
+    counters = verify_history(tmp_path / "history", observations)
+
+    read_latencies = [
+        o["latency_ms"] for o in observations if o["type"] == "read"
+    ]
+    ingest_latencies = [
+        o["latency_ms"]
+        for o in observations
+        if o["type"] == "ingest" and not o["idempotent_replay"]
+    ]
+    read_p50, read_p99 = _percentiles(read_latencies)
+    ingest_p50, ingest_p99 = _percentiles(ingest_latencies)
+
+    lost, post_resume_version = _run_sigkill_leg(tmp_path / "sigkill")
+
+    payload = {
+        "threads": THREADS,
+        "ops_per_thread": OPS_PER_THREAD,
+        "sessions": len(SESSION_CONFIGS),
+        "history_errors": len(history["errors"]),
+        "reads": len(read_latencies),
+        "ingests": len(ingest_latencies),
+        "read_p50_ms": read_p50,
+        "read_p99_ms": read_p99,
+        "read_p99_ceiling_ms": READ_P99_CEILING_MS,
+        "ingest_p50_ms": ingest_p50,
+        "ingest_p99_ms": ingest_p99,
+        "ingest_p99_ceiling_ms": INGEST_P99_CEILING_MS,
+        "responses_verified": counters["responses_verified"],
+        "responses_required": THREADS * OPS_PER_THREAD,
+        "plan_mismatches": len(counters["plan_mismatches"]),
+        "signature_mismatches": len(counters["signature_mismatches"]),
+        "version_violations": len(counters["version_violations"]),
+        "mismatch_ceiling": 0,
+        "sigkill_acked_events": SIGKILL_EVENTS,
+        "sigkill_acked_events_lost": lost,
+        "sigkill_post_resume_version": post_resume_version,
+        "environment": environment_metadata(),
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {ARTIFACT_PATH}")
+    print(json.dumps({k: v for k, v in payload.items() if k != "environment"}, indent=2))
+
+    assert history["errors"] == []
+    assert counters["plan_mismatches"] == []
+    assert counters["signature_mismatches"] == []
+    assert counters["version_violations"] == []
+    assert counters["responses_verified"] == THREADS * OPS_PER_THREAD
+    assert lost == 0
+    assert post_resume_version == SIGKILL_EVENTS + 1
+    assert read_p99 <= READ_P99_CEILING_MS
+    assert ingest_p99 <= INGEST_P99_CEILING_MS

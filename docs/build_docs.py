@@ -59,6 +59,7 @@ API_MODULES = [
     "repro.streaming",
     "repro.store",
     "repro.resilience",
+    "repro.service",
 ]
 
 _warnings: List[str] = []

@@ -405,6 +405,38 @@ def _store(args: argparse.Namespace) -> str:
 
 
 @register_experiment(
+    name="serve",
+    description="Serve cleaning recommendations over HTTP (concurrent sessions on the durable store)",
+    arguments=[
+        argument("--root", default="service_data", help="directory holding one plan-store file per session"),
+        argument("--host", default="127.0.0.1", help="bind address"),
+        argument("--port", type=int, default=0, help="bind port (0 picks a free one and reports it)"),
+        argument("--resume", action="store_true", help="re-open every session found under --root before serving (crash recovery)"),
+    ],
+)
+def _serve(args: argparse.Namespace) -> str:
+    import sys
+
+    from repro.service import CleaningService
+
+    service = CleaningService(
+        args.root, host=args.host, port=args.port, resume=args.resume
+    )
+    if service.resumed:
+        print(f"resumed sessions: {', '.join(service.resumed)}", flush=True)
+    # The harness (and any supervising script) waits for this exact line.
+    print(f"SERVICE LISTENING {service.url}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    print("service stopped", file=sys.stderr)
+    return f"served sessions from {args.root}"
+
+
+@register_experiment(
     name="chaos",
     description="Fault-injected replay: same plans as a clean run, degradations counted",
     arguments=[

@@ -31,8 +31,10 @@ from repro.resilience.degradation import (
 from repro.resilience.faults import (
     FAULT_SITES,
     FaultPlan,
+    HttpRequestFault,
     InjectedFault,
     KernelBackendFault,
+    StoreReadFault,
     TransientStoreFault,
     WorkerCrashFault,
     active_fault_plan,
@@ -52,8 +54,10 @@ __all__ = [
     "DegradationCounters",
     "FAULT_SITES",
     "FaultPlan",
+    "HttpRequestFault",
     "InjectedFault",
     "KernelBackendFault",
+    "StoreReadFault",
     "TransientStoreFault",
     "WorkerCrashFault",
     "active_fault_plan",

@@ -29,6 +29,14 @@ Injection sites and the fault each raises / applies:
     A NaN cost / value injected into a stream event just before it is
     applied (:func:`maybe_corrupt_event`) — the planner's validation rejects
     it and the durable runner re-reads the pristine event from the store.
+``store-read``
+    A transient ``sqlite3.OperationalError("disk I/O error")``
+    (:exc:`StoreReadFault`) before a column-page read in the storage-backed
+    database — absorbed by the page store's bounded retry loop.
+``http``
+    :exc:`HttpRequestFault` raised inside a service request handler *before*
+    any durable write — the server maps it to a ``503`` so clients retry
+    with the same idempotency key and observe an exactly-once ingest.
 
 ``max_consecutive`` bounds how many times in a row one site can fail
 (default 2), which guarantees a bounded retry loop always converges; the
@@ -57,8 +65,10 @@ from repro.resilience.degradation import record_degradation
 __all__ = [
     "FAULT_SITES",
     "FaultPlan",
+    "HttpRequestFault",
     "InjectedFault",
     "KernelBackendFault",
+    "StoreReadFault",
     "WorkerCrashFault",
     "TransientStoreFault",
     "active_fault_plan",
@@ -73,7 +83,7 @@ __all__ = [
 ]
 
 #: The injection sites the codebase is instrumented with.
-FAULT_SITES = ("kernel", "pool", "store", "journal", "event")
+FAULT_SITES = ("kernel", "pool", "store", "journal", "event", "store-read", "http")
 
 
 class InjectedFault(RuntimeError):
@@ -106,6 +116,32 @@ class TransientStoreFault(sqlite3.OperationalError):
 
     def __init__(self) -> None:
         super().__init__("database is locked (injected fault)")
+
+
+class StoreReadFault(sqlite3.OperationalError):
+    """An injected transient column-page read failure (site ``store-read``).
+
+    Subclasses ``sqlite3.OperationalError`` with a "disk I/O error" message so
+    the page store's retry predicate treats injected and real transient read
+    failures identically.
+    """
+
+    site = "store-read"
+
+    def __init__(self) -> None:
+        super().__init__("disk I/O error (injected fault)")
+
+
+class HttpRequestFault(InjectedFault):
+    """An injected in-flight HTTP request failure (site ``http``).
+
+    Raised inside the service's request handlers before any durable write so
+    a killed request can never leave a partial journal append behind; the
+    server surfaces it as a ``503`` and the client retries with the same
+    idempotency key.
+    """
+
+    site = "http"
 
 
 @dataclass(frozen=True)
@@ -222,7 +258,12 @@ _SITE_ERRORS = {
     "kernel": KernelBackendFault,
     "pool": WorkerCrashFault,
     "store": TransientStoreFault,
+    "store-read": StoreReadFault,
+    "http": HttpRequestFault,
 }
+
+#: Sites whose fault classes bake in their canonical message (no-arg init).
+_NO_ARG_SITES = frozenset({"store", "store-read"})
 
 
 def install_fault_plan(plan: Optional[FaultPlan]) -> None:
@@ -280,7 +321,7 @@ def maybe_inject(site: str) -> None:
         error = _SITE_ERRORS.get(site)
         if error is None:
             raise InjectedFault(f"injected fault at site {site!r}")
-        raise error() if site == "store" else error(f"injected fault at site {site!r}")
+        raise error() if site in _NO_ARG_SITES else error(f"injected fault at site {site!r}")
 
 
 def maybe_torn_write(text: str) -> Tuple[str, bool]:

@@ -1,0 +1,48 @@
+"""The cleaning-recommendation service: concurrent sessions over the store.
+
+This is the fact-checker-facing layer the paper's pipeline feeds: a
+zero-heavy-dependency HTTP service (stdlib ``http.server``, JSON wire)
+answering "which objects should I clean next for this claim?" to many
+concurrent sessions, each bound to a durable
+:class:`~repro.store.sqlite_store.PlanStore` stream.  The pieces:
+
+* :mod:`repro.service.wire` — canonical JSON, the
+  :func:`~repro.service.wire.plan_signature_hex` version-binding stamp,
+  and :class:`~repro.service.wire.ServiceError` status mapping;
+* :mod:`repro.service.sessions` — the session model: per-session
+  readers-writer locking, monotonic plan versions, exactly-once keyed
+  ingest, and the storage-backed
+  :class:`~repro.store.columns.StoredDatabase` mode;
+* :mod:`repro.service.app` — the routes and the runnable
+  :class:`~repro.service.app.CleaningService` (``repro serve``);
+* :mod:`repro.service.harness` — the concurrent-history generator and
+  the serial-replay verifier that together enforce the isolation
+  invariants (byte-equal plans, monotone versions, no stale reads).
+"""
+
+from repro.service.app import CleaningService, ServiceHandler
+from repro.service.harness import (
+    ServiceClient,
+    kill_server,
+    run_concurrent_history,
+    start_server_subprocess,
+    verify_history,
+)
+from repro.service.sessions import Session, SessionConfig, SessionManager
+from repro.service.wire import ServiceError, canonical_json, plan_signature_hex
+
+__all__ = [
+    "CleaningService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
+    "canonical_json",
+    "kill_server",
+    "plan_signature_hex",
+    "run_concurrent_history",
+    "start_server_subprocess",
+    "verify_history",
+]

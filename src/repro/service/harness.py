@@ -1,0 +1,482 @@
+"""The concurrent-history harness: hammer the service, then prove it right.
+
+Isolation bugs hide in interleavings, so the harness does what black-box
+snapshot-isolation checkers do: *generate* a concurrent history (N client
+threads interleaving ingests and plan reads against one live server,
+recording every response), then *check* it against the serial semantics
+(replay each session's durable journal strictly in order and recompute
+what every response should have said).  The invariants:
+
+* **Byte-equal plans** — every response's plan must equal the serial
+  replay's plan at the response's reported version (for budget read-backs,
+  the serial anytime-trace read-back at that budget), and its signature
+  must be the recomputed :func:`~repro.service.wire.plan_signature_hex` —
+  a torn plan or a version mislabel cannot satisfy both.
+* **Versions strictly monotone per session** — the non-replayed ingest
+  acks of a session must carry versions ``1..N`` exactly once each.
+* **No stale reads after an ack** — per thread and session, observed
+  versions never decrease: once a thread sees (or commits) version ``v``,
+  every later response it gets is ``>= v``.
+
+:func:`run_concurrent_history` produces the history;
+:func:`verify_history` checks it; the subprocess helpers boot/SIGKILL a
+real ``repro serve`` process for the crash-resume leg.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.solver import SelectionTrace
+from repro.service.sessions import SessionConfig, _CONFIG_KEY
+from repro.service.wire import plan_signature_hex
+from repro.store.sqlite_store import PlanStore
+from repro.streaming.events import event_from_dict
+from repro.streaming.planner import StreamingPlanner
+
+__all__ = [
+    "ServiceClient",
+    "run_concurrent_history",
+    "verify_history",
+    "start_server_subprocess",
+    "kill_server",
+]
+
+
+class ServiceClient:
+    """A thin, retrying JSON client over ``http.client`` (one per thread).
+
+    Holds one keep-alive connection; on connection failure it reconnects
+    and — for requests carrying an idempotency key — re-sends, which is
+    safe exactly because the server makes keyed ingests exactly-once.
+    503 responses marked ``retryable`` (injected ``http`` faults, resume
+    races) are retried with a short backoff.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0, max_retries: int = 25):
+        if base_url.startswith("http://"):
+            base_url = base_url[len("http://") :]
+        self.netloc = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.netloc, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the underlying connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        idempotency_key: Optional[str] = None,
+        retry: bool = True,
+    ) -> Tuple[int, Dict[str, object]]:
+        """One JSON request; returns ``(status, parsed_body)``.
+
+        Retries transient failures (connection drops, retryable 503s) up
+        to ``max_retries`` times.  Non-idempotent requests (an ingest with
+        no key) are *not* re-sent after a connection drop — the harness
+        always keys its ingests.
+        """
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        if idempotency_key is not None:
+            headers["X-Idempotency-Key"] = str(idempotency_key)
+        attempts = self.max_retries if retry else 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                self.close()
+                last_error = error
+                if body is not None and idempotency_key is None:
+                    raise
+                time.sleep(0.01 * (attempt + 1))
+                continue
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status == 503 and parsed.get("retryable") and attempt + 1 < attempts:
+                time.sleep(0.01 * (attempt + 1))
+                continue
+            return response.status, parsed
+        raise RuntimeError(
+            f"request {method} {path} failed after {attempts} attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        """The liveness document (raises on non-200)."""
+        status, body = self.request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(f"healthz returned {status}: {body}")
+        return body
+
+    def create_session(self, **config) -> Dict[str, object]:
+        """POST /sessions with ``config`` as the body."""
+        status, body = self.request("POST", "/sessions", body=config)
+        if status != 201:
+            raise RuntimeError(f"create_session returned {status}: {body}")
+        return body
+
+    def plan(
+        self, session: str, budget: Optional[float] = None, objective: bool = False
+    ) -> Dict[str, object]:
+        """GET the session's plan (optionally at a smaller budget)."""
+        query = []
+        if budget is not None:
+            query.append(f"budget={budget:.12g}")
+        if objective:
+            query.append("objective=1")
+        suffix = ("?" + "&".join(query)) if query else ""
+        status, body = self.request("GET", f"/sessions/{session}/plan{suffix}")
+        if status != 200:
+            raise RuntimeError(f"plan read returned {status}: {body}")
+        return body
+
+    def ingest(
+        self, session: str, event: Dict[str, object], idempotency_key: Optional[str] = None
+    ) -> Dict[str, object]:
+        """POST one event; keyed ingests survive faults and reconnects."""
+        status, body = self.request(
+            "POST",
+            f"/sessions/{session}/events",
+            body=event,
+            idempotency_key=idempotency_key,
+        )
+        if status != 200:
+            raise RuntimeError(f"ingest returned {status}: {body}")
+        return body
+
+    def info(self, session: str) -> Dict[str, object]:
+        """GET the session's info document."""
+        status, body = self.request("GET", f"/sessions/{session}")
+        if status != 200:
+            raise RuntimeError(f"info returned {status}: {body}")
+        return body
+
+    def delete(self, session: str) -> None:
+        """DELETE the session."""
+        status, body = self.request("DELETE", f"/sessions/{session}")
+        if status != 200:
+            raise RuntimeError(f"delete returned {status}: {body}")
+
+
+def _thread_ops(
+    session: str,
+    config: SessionConfig,
+    thread_id: int,
+    n_ops: int,
+    seed: int,
+    ingest_fraction: float,
+) -> List[Dict[str, object]]:
+    """The deterministic op list one worker thread executes.
+
+    Ingests are reveals and cost changes only (the two event kinds a
+    storage-backed session writes pages back for); reads split between
+    the full-budget plan and anytime read-backs at a random fraction of
+    the budget.  Every op is a pure function of ``(seed, thread_id,
+    position)``, so a run is reproducible op-for-op.
+    """
+    rng = np.random.default_rng((seed, thread_id))
+    ops: List[Dict[str, object]] = []
+    for position in range(n_ops):
+        if rng.random() < ingest_fraction:
+            index = int(rng.integers(0, config.n))
+            if rng.random() < 0.5:
+                event = {"kind": "reveal", "index": index, "value": float(rng.normal(10.0, 2.0))}
+            else:
+                event = {"kind": "cost_change", "index": index, "cost": float(rng.uniform(1.0, 4.0))}
+            ops.append(
+                {
+                    "type": "ingest",
+                    "event": event,
+                    # Seed-scoped so two harness runs against one resumed
+                    # session never collide keys across runs.
+                    "key": f"s{seed}-t{thread_id}-op{position}",
+                }
+            )
+        else:
+            budget = None
+            if rng.random() < 0.4:
+                budget = float(config.budget * rng.uniform(0.2, 0.95))
+            ops.append({"type": "read", "budget": budget})
+    return ops
+
+
+def run_concurrent_history(
+    url: str,
+    sessions: Sequence[Tuple[str, SessionConfig]],
+    threads: int = 16,
+    ops_per_thread: int = 200,
+    seed: int = 0,
+    ingest_fraction: float = 0.5,
+) -> Dict[str, object]:
+    """Drive ``threads`` concurrent clients and record every response.
+
+    Threads are assigned to sessions round-robin; each runs its
+    deterministic op list against its session and appends one observation
+    per response (version, plan, signature, latency).  Returns
+    ``{"observations": [...], "errors": [...]}`` — errors abort the
+    worker that hit them and are reported, not swallowed.
+    """
+    observations: List[Dict[str, object]] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def worker(thread_id: int) -> None:
+        session_id, config = sessions[thread_id % len(sessions)]
+        client = ServiceClient(url)
+        local: List[Dict[str, object]] = []
+        try:
+            ops = _thread_ops(
+                session_id, config, thread_id, ops_per_thread, seed, ingest_fraction
+            )
+            for position, op in enumerate(ops):
+                started = time.perf_counter()
+                if op["type"] == "ingest":
+                    body = client.ingest(
+                        session_id, dict(op["event"]), idempotency_key=op["key"]
+                    )
+                else:
+                    body = client.plan(session_id, budget=op["budget"])
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                local.append(
+                    {
+                        "type": op["type"],
+                        "session": session_id,
+                        "thread": thread_id,
+                        "position": position,
+                        "version": int(body["version"]),
+                        "seq": body.get("seq"),
+                        "budget": body.get("budget"),
+                        "plan": [int(i) for i in body["plan"]],
+                        "signature": str(body["signature"]),
+                        "idempotent_replay": bool(body.get("idempotent_replay", False)),
+                        "latency_ms": latency_ms,
+                    }
+                )
+        except Exception as error:  # noqa: BLE001 - reported to the caller
+            with lock:
+                errors.append(f"thread {thread_id}: {type(error).__name__}: {error}")
+        finally:
+            client.close()
+            with lock:
+                observations.extend(local)
+
+    pool = [
+        threading.Thread(target=worker, args=(i,), name=f"history-{i}")
+        for i in range(int(threads))
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return {"observations": observations, "errors": errors}
+
+
+def verify_history(root: str, observations: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Check a concurrent history against the serial journal replay.
+
+    For every session named in ``observations``, reads the durable journal
+    from its store file, replays it serially on a fresh planner rebuilt
+    from the persisted config, and at each version compares every response
+    the server returned at that version (plans byte-equal, signatures
+    recomputed, budget read-backs re-derived from the serial anytime
+    trace).  Also enforces the strictly-monotone-acks and per-thread
+    monotone-reads invariants.  Returns a counters dict; the caller
+    asserts on the violation counts.
+    """
+    root_path = Path(root)
+    by_session: Dict[str, List[Dict[str, object]]] = {}
+    for observation in observations:
+        by_session.setdefault(str(observation["session"]), []).append(dict(observation))
+
+    verified = 0
+    plan_mismatches: List[str] = []
+    signature_mismatches: List[str] = []
+    version_violations: List[str] = []
+
+    for session_id, rows in sorted(by_session.items()):
+        store = PlanStore(root_path / f"{session_id}.sqlite")
+        try:
+            meta = store.stream_metadata(session_id).get(_CONFIG_KEY)
+            config = SessionConfig.from_payload(dict(meta))
+            events = store.events(session_id)
+        finally:
+            store.close()
+
+        # --- invariant: non-replay ack versions are contiguous, once each
+        # (1..N for a fresh session; min..min+N-1 when the history starts
+        # against a resumed session that already holds events).
+        ack_versions = sorted(
+            int(row["version"])
+            for row in rows
+            if row["type"] == "ingest" and not row["idempotent_replay"]
+        )
+        first = ack_versions[0] if ack_versions else 1
+        if ack_versions != list(range(first, first + len(ack_versions))):
+            version_violations.append(
+                f"{session_id}: ack versions not contiguous and duplicate-free: "
+                f"{ack_versions[:10]}..."
+            )
+
+        # --- invariant: per-thread observed versions never decrease.
+        per_thread: Dict[int, List[Dict[str, object]]] = {}
+        for row in rows:
+            per_thread.setdefault(int(row["thread"]), []).append(row)
+        for thread_id, thread_rows in per_thread.items():
+            thread_rows.sort(key=lambda r: int(r["position"]))
+            floor = -1
+            for row in thread_rows:
+                version = int(row["version"])
+                if version < floor:
+                    version_violations.append(
+                        f"{session_id}: thread {thread_id} observed version "
+                        f"{version} after {floor} (stale read)"
+                    )
+                floor = max(floor, version)
+
+        # --- serial replay: recompute what every response should have said.
+        database, function = config.build_inputs()
+        planner = StreamingPlanner(database, function, budget=config.budget)
+        by_version: Dict[int, List[Dict[str, object]]] = {}
+        for row in rows:
+            by_version.setdefault(int(row["version"]), []).append(row)
+
+        def check_version(version: int) -> None:
+            nonlocal verified
+            serial_plan = [int(i) for i in planner.plan]
+            trace: Optional[SelectionTrace] = None
+            for row in by_version.get(version, ()):
+                expected = serial_plan
+                if row["type"] == "read" and row["budget"] is not None:
+                    budget = float(row["budget"])
+                    if abs(budget - float(planner.budget)) > 1e-12:
+                        if trace is None:
+                            solver = planner._solver()
+                            db = planner.database
+                            trace = SelectionTrace(
+                                "serial",
+                                planner.budget,
+                                planner.steps,
+                                db,
+                                lambda prefix, b: solver._run(
+                                    db, b, initial_selection=prefix
+                                ),
+                            )
+                        expected = [int(i) for i in trace.indices_at(budget)]
+                observed = [int(i) for i in row["plan"]]
+                if observed != expected:
+                    plan_mismatches.append(
+                        f"{session_id} v{version} ({row['type']}, thread "
+                        f"{row['thread']}): served {observed[:8]} != serial {expected[:8]}"
+                    )
+                expected_signature = plan_signature_hex(version, observed)
+                if str(row["signature"]) != expected_signature:
+                    signature_mismatches.append(
+                        f"{session_id} v{version}: signature mismatch"
+                    )
+                verified += 1
+
+        check_version(0)
+        for seq, payload in events:
+            planner.apply(event_from_dict(payload))
+            if planner.version != seq + 1:
+                version_violations.append(
+                    f"{session_id}: serial replay version {planner.version} "
+                    f"!= seq+1 ({seq + 1})"
+                )
+            check_version(seq + 1)
+
+    return {
+        "responses_verified": verified,
+        "plan_mismatches": plan_mismatches,
+        "signature_mismatches": signature_mismatches,
+        "version_violations": version_violations,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Subprocess helpers (the SIGKILL + resume leg)
+# ---------------------------------------------------------------------- #
+def start_server_subprocess(
+    root: str,
+    resume: bool = False,
+    timeout: float = 60.0,
+    env: Optional[Dict[str, str]] = None,
+) -> Tuple[subprocess.Popen, str]:
+    """Boot ``repro serve`` in a subprocess; returns ``(process, url)``.
+
+    Waits for the ``SERVICE LISTENING <url>`` line the CLI prints once the
+    socket is bound (port 0, so concurrent tests never collide).
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--root",
+        str(root),
+        "--port",
+        "0",
+    ]
+    if resume:
+        command.append("--resume")
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env if env is not None else dict(os.environ),
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {process.returncode} before listening: "
+                f"{process.stdout.read() if process.stdout else ''}"
+            )
+        line = process.stdout.readline() if process.stdout else ""
+        if line.startswith("SERVICE LISTENING "):
+            return process, line.split(" ", 2)[2].strip()
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("server did not report a listening address in time")
+
+
+def kill_server(process: subprocess.Popen) -> None:
+    """SIGKILL the server subprocess — no shutdown hooks, a real crash."""
+    try:
+        os.kill(process.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    process.wait(timeout=30)
+    if process.stdout is not None:
+        process.stdout.close()

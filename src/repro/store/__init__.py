@@ -2,21 +2,28 @@
 
 :class:`~repro.store.sqlite_store.PlanStore` is a single-file SQLite
 store (WAL mode, ``busy_timeout``, CRC32-checksummed rows) holding event
-journals, committed plans, planner state checkpoints, apply cursors and
-degradation counters per stream.  The runners in
-:mod:`~repro.store.runner` drive a
+journals, committed plans, planner state checkpoints, apply cursors,
+idempotency keys, degradation counters and column pages per stream.  The
+runners in :mod:`~repro.store.runner` drive a
 :class:`~repro.streaming.planner.StreamingPlanner` through a journal
 with every event durable *before* it is applied — so a crash (including
 SIGKILL mid-event) at any point resumes to the byte-identical plan
-sequence of an uninterrupted run.
+sequence of an uninterrupted run.  :mod:`~repro.store.columns` adds the
+storage-backed database mode: stat columns persisted as fixed-size
+checksummed pages (:class:`~repro.store.columns.DatabasePageStore`) and
+the lazily-loading :class:`~repro.store.columns.StoredDatabase` view the
+service layer serves sessions from.
 """
 
+from repro.store.columns import DatabasePageStore, StoredDatabase
 from repro.store.runner import durable_replay, resume_replay
 from repro.store.sqlite_store import PlanStore, StoreCorruptionError
 
 __all__ = [
+    "DatabasePageStore",
     "PlanStore",
     "StoreCorruptionError",
+    "StoredDatabase",
     "durable_replay",
     "resume_replay",
 ]

@@ -1,0 +1,307 @@
+"""Column pages and the storage-backed :class:`StoredDatabase`.
+
+The service layer serves sessions whose databases may be larger than what a
+process wants resident: :class:`DatabasePageStore` persists an all-normal
+:class:`~repro.uncertainty.database.UncertainDatabase` into the
+``column_pages`` table of a :class:`~repro.store.sqlite_store.PlanStore` as
+four stat columns (current values, means, stds, costs) split into fixed-size
+checksummed pages, and :class:`StoredDatabase` is the lazy view over them:
+
+* **Lazy column loads** — a ``StoredDatabase`` is constructed from the page
+  metadata alone (``len()`` answers from it, no I/O); each stat vector is
+  read from the store the first time something touches it, page by page,
+  through the resilience layer (fault site ``store-read`` + bounded
+  retries), then cached read-only for the life of the session.
+* **Dirty-page writeback** — when a reveal or cost-change event commits, the
+  session rewrites only the single page holding that object's slot
+  (:meth:`DatabasePageStore.write_back_reveal` /
+  :meth:`DatabasePageStore.write_back_cost`), keeping the durable base
+  columns in sync with revealed truth without rewriting the whole column.
+  Writeback is idempotent with respect to resume: the planner's restore
+  path re-applies the same reveals as overlays, so a base page already
+  carrying the revealed value produces the identical effective database.
+* **Plain overlays** — ``conditioned`` / ``with_cost`` / ``with_appended``
+  on a ``StoredDatabase`` return ordinary in-memory
+  :class:`~repro.uncertainty.database.UncertainDatabase` overlays (the base
+  stays the single storage-backed object), so the whole solver stack works
+  unchanged on top.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.faults import maybe_inject
+from repro.resilience.retry import BackoffPolicy, retry_call
+from repro.store.sqlite_store import PlanStore, StoreCorruptionError
+from repro.uncertainty.database import UncertainDatabase
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["DatabasePageStore", "StoredDatabase"]
+
+#: The stat columns a stored database is decomposed into.
+STORED_COLUMNS = ("current_values", "means", "stds", "costs")
+
+#: The stream-metadata key holding the page layout.
+_METADATA_KEY = "columns"
+
+
+class DatabasePageStore:
+    """Persists one database's stat columns as checksummed pages.
+
+    One instance is bound to one ``(store, stream_id)`` pair; the page
+    layout (``n``, ``page_size``, name ``prefix``) lives in the stream's
+    metadata so a fresh process can rebuild the lazy view without touching
+    a single page.  All page reads run through the resilience layer: the
+    fault site ``store-read`` injects transient ``disk I/O error`` faults
+    ahead of each page fetch and :func:`~repro.resilience.retry.retry_call`
+    absorbs them (real or injected) with bounded, counted retries.
+    """
+
+    def __init__(
+        self,
+        store: PlanStore,
+        stream_id: str,
+        retry_policy: Optional[BackoffPolicy] = None,
+    ):
+        self.store = store
+        self.stream_id = str(stream_id)
+        self.retry_policy = retry_policy or BackoffPolicy()
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def metadata(self) -> Optional[Dict[str, object]]:
+        """The stored page layout (``n`` / ``page_size`` / ``prefix``), or None."""
+        meta = self.store.stream_metadata(self.stream_id).get(_METADATA_KEY)
+        return dict(meta) if isinstance(meta, dict) else None
+
+    def _layout(self) -> Tuple[int, int, str]:
+        meta = self.metadata()
+        if meta is None:
+            raise StoreCorruptionError(
+                f"stream {self.stream_id!r} has no stored column layout",
+                table="streams",
+                stream_id=self.stream_id,
+            )
+        return int(meta["n"]), int(meta["page_size"]), str(meta["prefix"])
+
+    def page_of(self, index: int) -> int:
+        """The page number holding object ``index``'s slot."""
+        _, page_size, _ = self._layout()
+        return int(index) // page_size
+
+    def page_count(self) -> int:
+        """Number of pages each stored column spans."""
+        n, page_size, _ = self._layout()
+        return (n + page_size - 1) // page_size
+
+    # ------------------------------------------------------------------ #
+    # Save / load
+    # ------------------------------------------------------------------ #
+    def save_database(
+        self,
+        database: UncertainDatabase,
+        page_size: int = 1024,
+        prefix: str = "obj",
+    ) -> Dict[str, object]:
+        """Persist ``database``'s stat columns as pages; returns the layout.
+
+        Only all-normal databases are storable (the four stat vectors fully
+        determine them); discrete supports would need a ragged encoding the
+        service does not serve.  The write is transactional: every page of
+        every column plus the layout metadata commit atomically.
+        """
+        if not database.all_normal():
+            raise ValueError("only all-normal databases can be page-stored")
+        n = len(database)
+        page_size = int(page_size)
+        if page_size < 1:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        layout = {"n": n, "page_size": page_size, "prefix": str(prefix)}
+        columns = {
+            "current_values": database._current_values,
+            "means": database._means,
+            "stds": database._stds,
+            "costs": database._costs,
+        }
+        with self.store.transaction():
+            self.store.ensure_stream(self.stream_id, {_METADATA_KEY: layout})
+            for name, vector in columns.items():
+                for page in range(0, n, page_size):
+                    self.store.save_column_page(
+                        self.stream_id,
+                        name,
+                        page // page_size,
+                        [float(v) for v in vector[page : page + page_size]],
+                    )
+        return layout
+
+    def _read_page(self, column_name: str, page: int) -> List[float]:
+        """One page, fetched through fault injection + bounded retries."""
+
+        def attempt() -> List[float]:
+            maybe_inject("store-read")
+            return self.store.load_column_page(self.stream_id, column_name, page)
+
+        return retry_call(
+            attempt,
+            retryable=(sqlite3.OperationalError,),
+            policy=self.retry_policy,
+            site="store-read",
+        )
+
+    def load_column(self, column_name: str) -> np.ndarray:
+        """The full stat column, page reads retried, returned read-only."""
+        if column_name not in STORED_COLUMNS:
+            raise KeyError(f"unknown stored column {column_name!r}")
+        n, page_size, _ = self._layout()
+        values: List[float] = []
+        for page in range((n + page_size - 1) // page_size):
+            values.extend(self._read_page(column_name, page))
+        if len(values) != n:
+            raise StoreCorruptionError(
+                f"column {column_name!r} of stream {self.stream_id!r} "
+                f"reassembled to {len(values)} values, expected {n}",
+                table="column_pages",
+                stream_id=self.stream_id,
+            )
+        array = np.asarray(values, dtype=float)
+        array.setflags(write=False)
+        return array
+
+    def read_index(self, column_name: str, index: int) -> float:
+        """One object's slot in one column (a single page read)."""
+        n, page_size, _ = self._layout()
+        index = int(index)
+        if not 0 <= index < n:
+            raise IndexError(f"object index {index} out of range for n={n}")
+        page = self._read_page(column_name, index // page_size)
+        return float(page[index % page_size])
+
+    # ------------------------------------------------------------------ #
+    # Dirty-page writeback
+    # ------------------------------------------------------------------ #
+    def _rewrite_slot(self, column_name: str, index: int, value: float) -> None:
+        n, page_size, _ = self._layout()
+        index = int(index)
+        if not 0 <= index < n:
+            raise IndexError(f"object index {index} out of range for n={n}")
+        page = index // page_size
+        values = self._read_page(column_name, page)
+        values[index % page_size] = float(value)
+        self.store.save_column_page(self.stream_id, column_name, page, values)
+
+    def write_back_reveal(self, index: int, value: float) -> None:
+        """Write a revealed value into the base ``current_values`` page.
+
+        Only the current value is rewritten — means and stds stay pristine
+        so the stored base remains the planner's *initial* database; the
+        resume path re-applies the reveal as a ``conditioned`` overlay and
+        gets the identical effective state whether or not this writeback
+        survived the crash.
+        """
+        self._rewrite_slot("current_values", index, value)
+
+    def write_back_cost(self, index: int, cost: float) -> None:
+        """Write an updated cleaning cost into the base ``costs`` page."""
+        self._rewrite_slot("costs", index, cost)
+
+    # ------------------------------------------------------------------ #
+    # The lazy view
+    # ------------------------------------------------------------------ #
+    def open_database(self) -> "StoredDatabase":
+        """A lazy :class:`StoredDatabase` over the stored pages (no I/O yet)."""
+        n, _, prefix = self._layout()
+        return StoredDatabase._from_pages(self, n, prefix)
+
+
+class StoredDatabase(UncertainDatabase):
+    """An :class:`~repro.uncertainty.database.UncertainDatabase` whose stat
+    vectors live in a :class:`DatabasePageStore` and load lazily.
+
+    Construction touches only the stream metadata; ``len()`` answers from
+    it.  The first access to each stat vector (``_current_values`` and
+    friends, reached through every public read path) pulls the column's
+    pages through the retried ``store-read`` path and caches the result
+    read-only, so a session pays I/O once per column it actually uses.
+    Overlay constructors (``conditioned`` / ``with_cost`` /
+    ``with_appended``) intentionally build plain in-memory overlays — the
+    storage-backed object is always the root of the overlay chain.
+    """
+
+    #: Columns served lazily, mapped to their stored column name.
+    _LAZY_COLUMNS = {
+        "_current_values": "current_values",
+        "_means": "means",
+        "_stds": "stds",
+        "_costs": "costs",
+    }
+
+    @classmethod
+    def _from_pages(cls, pages: DatabasePageStore, n: int, prefix: str) -> "StoredDatabase":
+        database = object.__new__(cls)
+        database._pages = pages
+        database._n = int(n)
+        database._objects_list = None
+        database._index_by_name = None
+        database._array_prefix = str(prefix)
+        database._overlay_base = None
+        database._overlay_delta = {}
+        database._overlay_costs = {}
+        database._overlay_appended = ()
+        database._overlay_objects = {}
+        return database
+
+    def __len__(self) -> int:
+        # From the layout metadata, not the stat vectors — len() must not
+        # trigger a column load.
+        return self._n
+
+    def __getattr__(self, name: str):
+        # Only the lazily-stored stat vectors (and their two derived
+        # scalars) are served here; anything else is a genuine miss.  The
+        # guard on _pages/_n prevents recursion during construction.
+        if name in ("_pages", "_n"):
+            raise AttributeError(name)
+        if name in self._LAZY_COLUMNS:
+            array = self._pages.load_column(self._LAZY_COLUMNS[name])
+            object.__setattr__(self, name, array)
+            return array
+        if name == "_variances":
+            variances = np.asarray(self._stds, dtype=float) ** 2
+            variances.setflags(write=False)
+            object.__setattr__(self, "_variances", variances)
+            return variances
+        if name == "_total_cost":
+            total = float(self._costs.sum())
+            object.__setattr__(self, "_total_cost", total)
+            return total
+        raise AttributeError(name)
+
+    def loaded_columns(self) -> List[str]:
+        """The stat columns pulled from the store so far (sorted) — the
+        laziness observable the storage-backed tests assert on."""
+        return sorted(
+            column
+            for attr, column in self._LAZY_COLUMNS.items()
+            if attr in self.__dict__
+        )
+
+    @classmethod
+    def _make_overlay(
+        cls,
+        base: UncertainDatabase,
+        delta: Dict[int, float],
+        costs: Optional[Dict[int, float]] = None,
+        appended: Tuple[UncertainObject, ...] = (),
+    ) -> UncertainDatabase:
+        # Overlays of a stored database are plain in-memory databases: they
+        # copy / share the (now loaded) base vectors and must not inherit
+        # the lazy __getattr__ or the page-store binding.
+        return UncertainDatabase._make_overlay.__func__(
+            UncertainDatabase, base, delta, costs, appended
+        )

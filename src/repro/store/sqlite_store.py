@@ -26,14 +26,16 @@ resume-state idiom of large ingest pipelines:
 
 Layout (all tables keyed by ``stream_id`` so one file serves many streams):
 
-=============  =====================================================
-``streams``    stream registry + journal metadata
-``events``     the durable journal: one row per event, in order
-``plans``      the committed plan after every applied event
-``checkpoints``  serialized planner state every ``checkpoint_every`` events
-``cursors``    last event whose plan row is durable, per stream
-``counters``   persisted degradation counters, per stream
-=============  =====================================================
+================  =====================================================
+``streams``       stream registry + journal metadata
+``events``        the durable journal: one row per event, in order
+``plans``         the committed plan after every applied event
+``checkpoints``   serialized planner state every ``checkpoint_every`` events
+``cursors``       last event whose plan row is durable, per stream
+``counters``      persisted degradation counters, per stream
+``idempotency``   client idempotency keys → the seq they committed as
+``column_pages``  checksummed column pages backing a ``StoredDatabase``
+================  =====================================================
 
 The write protocol behind crash safety: the *event* row is committed before
 the event is applied, and the *plan* row, *cursor* and (periodically)
@@ -96,6 +98,21 @@ CREATE TABLE IF NOT EXISTS counters (
     count INTEGER NOT NULL,
     PRIMARY KEY (stream_id, key)
 );
+CREATE TABLE IF NOT EXISTS idempotency (
+    stream_id TEXT NOT NULL REFERENCES streams(stream_id) ON DELETE CASCADE,
+    key TEXT NOT NULL,
+    seq INTEGER NOT NULL,
+    created_utc TEXT NOT NULL,
+    PRIMARY KEY (stream_id, key)
+);
+CREATE TABLE IF NOT EXISTS column_pages (
+    stream_id TEXT NOT NULL REFERENCES streams(stream_id) ON DELETE CASCADE,
+    column_name TEXT NOT NULL,
+    page INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    checksum INTEGER NOT NULL,
+    PRIMARY KEY (stream_id, column_name, page)
+);
 """
 
 
@@ -140,10 +157,16 @@ class PlanStore:
         path: Union[str, Path],
         busy_timeout_ms: int = 30000,
         retry_policy: Optional[BackoffPolicy] = None,
+        check_same_thread: bool = True,
     ):
         self.path = str(path)
         self.retry_policy = retry_policy or BackoffPolicy()
-        self._connection = sqlite3.connect(self.path, isolation_level=None)
+        # check_same_thread=False lets a store be used from multiple threads
+        # as long as the *caller* serializes statements (the service layer's
+        # per-session write lock does); SQLite itself is compiled threadsafe.
+        self._connection = sqlite3.connect(
+            self.path, isolation_level=None, check_same_thread=check_same_thread
+        )
         self._connection.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
@@ -399,6 +422,98 @@ class PlanStore:
         return {key: int(count) for key, count in rows}
 
     # ------------------------------------------------------------------ #
+    # Idempotency keys
+    # ------------------------------------------------------------------ #
+    def record_idempotency_key(self, stream_id: str, key: str, seq: int) -> None:
+        """Durably bind a client idempotency ``key`` to event ``seq``.
+
+        Committed in the *same transaction* as the event row it names, so a
+        crash between the event append and the plan commit still leaves the
+        key findable — a client retry after resume reads back the committed
+        seq instead of appending a duplicate event.  Re-binding an existing
+        key to a different seq raises :exc:`StoreCorruptionError`.
+        """
+        existing = self.idempotency_seq(stream_id, key)
+        if existing is not None:
+            if existing != int(seq):
+                raise StoreCorruptionError(
+                    f"idempotency key {key!r} of stream {stream_id!r} already "
+                    f"bound to seq {existing}, refusing rebind to {seq}",
+                    table="idempotency",
+                    stream_id=stream_id,
+                    seq=int(seq),
+                )
+            return
+        self._execute(
+            "INSERT OR IGNORE INTO idempotency (stream_id, key, seq, created_utc) "
+            "VALUES (?, ?, ?, ?)",
+            (stream_id, str(key), int(seq), _now()),
+        )
+
+    def idempotency_seq(self, stream_id: str, key: str) -> Optional[int]:
+        """The seq a key committed as, or ``None`` when the key is unseen."""
+        row = self._execute(
+            "SELECT seq FROM idempotency WHERE stream_id = ? AND key = ?",
+            (stream_id, str(key)),
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Column pages (storage-backed databases)
+    # ------------------------------------------------------------------ #
+    def save_column_page(
+        self, stream_id: str, column_name: str, page: int, values: List[float]
+    ) -> None:
+        """Write (or rewrite) one checksummed page of a stored column.
+
+        Pages are the dirty-write granularity of the storage-backed
+        database: a reveal or cost change rewrites only the page holding
+        that object's slot, not the whole column.
+        """
+        text = _dump({"values": [float(v) for v in values]})
+        self._execute(
+            "INSERT OR REPLACE INTO column_pages "
+            "(stream_id, column_name, page, payload, checksum) VALUES (?, ?, ?, ?, ?)",
+            (stream_id, str(column_name), int(page), text, _checksum(text)),
+        )
+
+    def load_column_page(self, stream_id: str, column_name: str, page: int) -> List[float]:
+        """Read one page of a stored column, verifying its checksum."""
+        row = self._execute(
+            "SELECT payload, checksum FROM column_pages "
+            "WHERE stream_id = ? AND column_name = ? AND page = ?",
+            (stream_id, str(column_name), int(page)),
+        ).fetchone()
+        if row is None:
+            raise StoreCorruptionError(
+                f"missing page {page} of column {column_name!r} "
+                f"(stream {stream_id!r})",
+                table="column_pages",
+                stream_id=stream_id,
+                seq=int(page),
+            )
+        payload, checksum = row
+        record = self._verified(payload, checksum, "column_pages", stream_id, int(page))
+        return [float(v) for v in record["values"]]
+
+    def column_names(self, stream_id: str) -> List[str]:
+        """Every column with at least one stored page, sorted."""
+        rows = self._execute(
+            "SELECT DISTINCT column_name FROM column_pages "
+            "WHERE stream_id = ? ORDER BY column_name",
+            (stream_id,),
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def column_page_count(self, stream_id: str, column_name: str) -> int:
+        """Number of stored pages for one column of ``stream_id``."""
+        row = self._execute(
+            "SELECT COUNT(*) FROM column_pages WHERE stream_id = ? AND column_name = ?",
+            (stream_id, str(column_name)),
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------ #
     # Integrity
     # ------------------------------------------------------------------ #
     def _verified(
@@ -439,6 +554,28 @@ class PlanStore:
                 rows_checked += 1
                 if _checksum(payload) != int(checksum):
                     corrupt.append({"table": table, "stream_id": row_stream, "seq": int(seq)})
+        if stream_id is None:
+            page_rows = self._execute(
+                "SELECT stream_id, column_name, page, payload, checksum FROM column_pages "
+                "ORDER BY stream_id, column_name, page"
+            ).fetchall()
+        else:
+            page_rows = self._execute(
+                "SELECT stream_id, column_name, page, payload, checksum FROM column_pages "
+                "WHERE stream_id = ? ORDER BY column_name, page",
+                (stream_id,),
+            ).fetchall()
+        for row_stream, column_name, page, payload, checksum in page_rows:
+            rows_checked += 1
+            if _checksum(payload) != int(checksum):
+                corrupt.append(
+                    {
+                        "table": "column_pages",
+                        "stream_id": row_stream,
+                        "seq": int(page),
+                        "column": column_name,
+                    }
+                )
         return {"rows_checked": rows_checked, "corrupt": corrupt}
 
 

@@ -34,6 +34,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+try:  # POSIX-only; Windows falls back to unlocked appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 import numpy as np
 
 from repro.resilience.degradation import record_degradation
@@ -257,19 +262,35 @@ class Journal:
         return cls(events, metadata)
 
     @staticmethod
-    def append(path: Union[str, Path], event: StreamEvent) -> None:
-        """Append one event to a JSONL journal file (pure file append).
+    def append(path: Union[str, Path], event: StreamEvent, *, lock: bool = True) -> None:
+        """Append one event to a JSONL journal file.
 
-        This is the write the fault harness tears (site ``journal``): under
-        an active :class:`~repro.resilience.faults.FaultPlan` the line may
-        be written half-finished without its newline — exactly the state a
-        crash mid-append leaves — which :meth:`from_jsonl`'s recovery mode
+        The append is guarded by an exclusive ``flock`` on the journal file
+        (when the platform provides :mod:`fcntl`), so concurrent appenders —
+        each with their own file handle — serialize whole lines instead of
+        interleaving partial ones.  Each append is a single buffered write
+        flushed before the lock is released, which keeps the line atomic
+        with respect to other *locked* appenders; pass ``lock=False`` only
+        on paths already serialized by a higher-level writer lock.
+
+        This is also the write the fault harness tears (site ``journal``):
+        under an active :class:`~repro.resilience.faults.FaultPlan` the line
+        may be written half-finished without its newline — exactly the state
+        a crash mid-append leaves — which :meth:`from_jsonl`'s recovery mode
         must absorb.
         """
         line = json.dumps(event_to_dict(event), sort_keys=True) + "\n"
         line, _ = maybe_torn_write(line)
         with Path(path).open("a", encoding="utf-8") as handle:
-            handle.write(line)
+            use_lock = lock and fcntl is not None
+            if use_lock:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line)
+                handle.flush()
+            finally:
+                if use_lock:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 def synthesize_journal(

@@ -180,6 +180,7 @@ class StreamingPlanner:
         self._store: Optional[Any] = None
         self._stream_id = str(stream_id)
         self.checkpoint_every = int(checkpoint_every)
+        self._owner: Optional[str] = None
         if track == "decomposed":
             self._calculator = DecomposedEVCalculator(database, function)
         elif track == "dependency":
@@ -194,6 +195,52 @@ class StreamingPlanner:
         self.last_mode = "init"
         if store is not None:
             self.bind_store(store, stream_id=stream_id, checkpoint_every=checkpoint_every)
+
+    # ------------------------------------------------------------------ #
+    # Versioning and ownership
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """The monotonic plan version: the number of events folded in.
+
+        Version 0 is the initial cold solve; every successful
+        :meth:`apply` (or :meth:`_durable_apply`) increments it by exactly
+        one, so a plan stamped with version *v* is the deterministic result
+        of the first *v* journal events.  The service layer exposes this
+        stamp on every response and the concurrent-history harness asserts
+        it only ever moves forward per session.
+        """
+        return int(self.events_applied)
+
+    def claim_owner(self, owner: str) -> None:
+        """Claim exclusive write ownership of this planner for ``owner``.
+
+        A planner folds events strictly serially — two writers interleaving
+        :meth:`apply` calls would corrupt the warm-start state — so the
+        service's session manager claims each planner once and routes every
+        ingest through the owning session's write lock.  A second claim (by
+        any name, including the same one) raises ``RuntimeError`` until
+        :meth:`release_owner` runs; this turns an accidental double-bind
+        into a loud error instead of silent plan corruption.
+        """
+        name = str(owner)
+        if not name:
+            raise ValueError("owner name must be non-empty")
+        if self._owner is not None:
+            raise RuntimeError(
+                f"planner already owned by {self._owner!r}; "
+                f"release_owner() before claiming for {name!r}"
+            )
+        self._owner = name
+
+    def release_owner(self) -> None:
+        """Release the write-ownership claim (no-op when unclaimed)."""
+        self._owner = None
+
+    @property
+    def owner(self) -> Optional[str]:
+        """The current exclusive owner's name, or ``None`` when unclaimed."""
+        return self._owner
 
     # ------------------------------------------------------------------ #
     # Event application
@@ -737,6 +784,7 @@ class StreamingPlanner:
         planner.last_prefix_kept = int(state["last_prefix_kept"])
         planner._store = None
         planner._stream_id = "stream"
+        planner._owner = None
         planner._calculator = None
         planner._engine = None
         planner._model = None

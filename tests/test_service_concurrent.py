@@ -1,0 +1,116 @@
+"""Tier-1 concurrent-history checks: interleaved clients vs serial replay.
+
+A scaled-down version of the CI ``service`` leg's 16x200 harness: several
+client threads interleave keyed ingests and plan reads against a live
+in-process server, then :func:`repro.service.verify_history` replays each
+session's durable journal serially and proves every response was exactly
+the serial state at its reported version.
+"""
+
+import pytest
+
+from repro.service import (
+    CleaningService,
+    ServiceClient,
+    run_concurrent_history,
+    verify_history,
+)
+from repro.service.sessions import SessionConfig
+
+
+def _boot(tmp_path, configs):
+    service = CleaningService(tmp_path / "svc").start_background()
+    client = ServiceClient(service.url)
+    sessions = []
+    for config in configs:
+        created = client.create_session(**config)
+        sessions.append((created["session"], SessionConfig.from_payload(config)))
+    client.close()
+    return service, sessions
+
+
+def _assert_clean(report):
+    assert report["errors"] == []
+    counters = report["verify"]
+    assert counters["plan_mismatches"] == []
+    assert counters["signature_mismatches"] == []
+    assert counters["version_violations"] == []
+    assert counters["responses_verified"] > 0
+
+
+def test_concurrent_history_single_session(tmp_path):
+    service, sessions = _boot(
+        tmp_path, [{"kind": "linear_normal", "n": 48, "seed": 7, "budget": 8.0}]
+    )
+    try:
+        history = run_concurrent_history(
+            service.url, sessions, threads=8, ops_per_thread=30, seed=11
+        )
+    finally:
+        service.close()
+    report = {
+        "errors": history["errors"],
+        "verify": verify_history(tmp_path / "svc", history["observations"]),
+    }
+    _assert_clean(report)
+    assert report["verify"]["responses_verified"] == 8 * 30
+
+
+def test_concurrent_history_mixed_sessions_and_storage_modes(tmp_path):
+    service, sessions = _boot(
+        tmp_path,
+        [
+            {"kind": "linear_normal", "n": 40, "seed": 1, "budget": 7.0},
+            {
+                "kind": "linear_normal",
+                "n": 40,
+                "seed": 2,
+                "budget": 7.0,
+                "storage_backed": True,
+                "page_size": 16,
+            },
+            {"kind": "urx_uniqueness", "n": 36, "seed": 3, "budget": 10.0},
+        ],
+    )
+    try:
+        history = run_concurrent_history(
+            service.url, sessions, threads=6, ops_per_thread=25, seed=5
+        )
+    finally:
+        service.close()
+    report = {
+        "errors": history["errors"],
+        "verify": verify_history(tmp_path / "svc", history["observations"]),
+    }
+    _assert_clean(report)
+
+
+def test_history_after_shutdown_resumes_to_verified_state(tmp_path):
+    """Close the service mid-stream and resume: the journal is the truth."""
+    service, sessions = _boot(
+        tmp_path, [{"kind": "linear_normal", "n": 32, "seed": 9, "budget": 6.0}]
+    )
+    history = run_concurrent_history(
+        service.url, sessions, threads=4, ops_per_thread=15, seed=2
+    )
+    assert history["errors"] == []
+    service.close()
+
+    resumed = CleaningService(tmp_path / "svc", resume=True).start_background()
+    try:
+        assert resumed.resumed == [sessions[0][0]]
+        more = run_concurrent_history(
+            resumed.url, sessions, threads=4, ops_per_thread=10, seed=3
+        )
+        assert more["errors"] == []
+    finally:
+        resumed.close()
+
+    # Each run's observations verify against the *full* final journal:
+    # the serial replay walks every durable event, and observations are
+    # matched at whatever versions they reported.
+    for observations in (history["observations"], more["observations"]):
+        counters = verify_history(tmp_path / "svc", observations)
+        assert counters["plan_mismatches"] == []
+        assert counters["signature_mismatches"] == []
+        assert counters["version_violations"] == []

@@ -4,7 +4,7 @@
 Checks that every export of the public packages — ``repro.core``,
 ``repro.uncertainty``, ``repro.workloads``, ``repro.claims``,
 ``repro.datasets``, ``repro.experiments``, ``repro.streaming``,
-``repro.store``, ``repro.resilience`` — has a
+``repro.store``, ``repro.resilience``, ``repro.service`` — has a
 docstring whose first
 line is a one-line summary, and that the public methods/properties of
 exported classes are documented too (pydocstyle's D101/D102/D103 scope,
@@ -59,6 +59,7 @@ PACKAGES = [
     "repro.streaming",
     "repro.store",
     "repro.resilience",
+    "repro.service",
 ]
 
 
